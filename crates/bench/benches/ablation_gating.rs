@@ -1,0 +1,59 @@
+//! Ablation: power-gating timing parameters — the idle-detect window
+//! (paper: 4 cycles) and the wake-up delay (paper: 10 cycles from SPICE,
+//! 3 hidden by look-ahead wake signals).
+
+use catnap::MultiNocConfig;
+use catnap_bench::{emit_json, print_banner, run_synthetic, SweepPoint, Table};
+use catnap_traffic::SyntheticPattern;
+
+fn main() {
+    print_banner("Ablation", "gating timing: idle-detect and wake-up delay, 4NT-128b-PG @ 0.05");
+    let mut all: Vec<SweepPoint> = Vec::new();
+
+    println!("idle-detect window (T-idle-detect):");
+    let mut t = Table::new(["t_idle_detect", "latency (cy)", "CSC %", "sleep transitions/kcycle"]);
+    for t_idle in [1u32, 2, 4, 8, 16, 32] {
+        let mut cfg = MultiNocConfig::catnap_4x128().gating(true).named(&format!("idle-{t_idle}"));
+        cfg.gating_cfg.t_idle_detect = t_idle;
+        let p = run_synthetic(cfg.clone(), SyntheticPattern::UniformRandom, 0.05, 512, 3_000, 5_000, 16);
+        // Re-run to count transitions over the whole run.
+        let mut net = catnap::MultiNoc::new(cfg);
+        let mut load = catnap_traffic::SyntheticWorkload::new(
+            SyntheticPattern::UniformRandom,
+            0.05,
+            512,
+            net.dims(),
+            16,
+        );
+        for _ in 0..8_000 {
+            load.drive(&mut net);
+            net.step();
+        }
+        let rep = net.finish();
+        t.row([
+            t_idle.to_string(),
+            format!("{:.1}", p.latency),
+            format!("{:.1}", p.csc * 100.0),
+            format!("{:.1}", rep.sleep_transitions as f64 / 8.0),
+        ]);
+        all.push(p);
+    }
+    t.print();
+
+    println!("\nwake-up delay (T-wakeup):");
+    let mut t2 = Table::new(["t_wakeup", "latency (cy)", "CSC %"]);
+    for t_wake in [0u32, 5, 10, 20, 40] {
+        let mut cfg = MultiNocConfig::catnap_4x128().gating(true).named(&format!("wake-{t_wake}"));
+        cfg.gating_cfg.t_wakeup = t_wake;
+        let p = run_synthetic(cfg, SyntheticPattern::UniformRandom, 0.05, 512, 3_000, 5_000, 16);
+        t2.row([
+            t_wake.to_string(),
+            format!("{:.1}", p.latency),
+            format!("{:.1}", p.csc * 100.0),
+        ]);
+        all.push(p);
+    }
+    t2.print();
+    println!("\npaper's SPICE values: T-idle-detect = 4, T-wakeup = 10 (3 hidden by look-ahead)");
+    emit_json("ablation_gating", &all);
+}

@@ -1,0 +1,61 @@
+//! Extension (Related Work, Matsutani et al. TCAD '11): fine-grained
+//! per-port power gating as an alternative baseline for the Single-NoC.
+//!
+//! Individual input ports (buffers + link receivers) gate independently
+//! while the crossbar, control and clock stay powered. Ports sleep far
+//! more often than whole routers (a router is busy if *any* port is),
+//! but each sleeping port saves only its buffer/link leakage — and the
+//! wake-up penalty still sits on the critical path of every packet. The
+//! bench quantifies how far this gets a Single-NoC compared to Catnap's
+//! subnet-level gating.
+
+use catnap::{GatingPolicy, MultiNocConfig};
+use catnap_bench::{emit_json, latency_sweep, print_banner, SweepPoint, Table};
+use catnap_traffic::SyntheticPattern;
+
+fn main() {
+    print_banner(
+        "Extension",
+        "per-port gating (1NT-512b-PPG) vs router gating vs Catnap, uniform random",
+    );
+    let loads = [0.01, 0.03, 0.05, 0.10, 0.16, 0.24];
+    let configs = [
+        MultiNocConfig::single_noc_512b(),
+        MultiNocConfig::single_noc_512b().gating(true),
+        MultiNocConfig::single_noc_512b()
+            .gating_policy(GatingPolicy::LocalIdlePort)
+            .named("1NT-512b-PPG"),
+        MultiNocConfig::catnap_4x128().gating(true),
+    ];
+    let sweeps: Vec<Vec<SweepPoint>> = configs
+        .iter()
+        .map(|c| latency_sweep(c, SyntheticPattern::UniformRandom, &loads, 512, 3_000, 5_000, 23))
+        .collect();
+    let names: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
+    for (title, which) in [("total power (W)", 0usize), ("latency (cycles)", 1), ("sleep fraction (%)", 2)] {
+        println!("\n{title}");
+        let mut t = Table::new(
+            std::iter::once("offered".to_string()).chain(names.iter().cloned()).collect::<Vec<_>>(),
+        );
+        for (i, &l) in loads.iter().enumerate() {
+            let mut cells = vec![format!("{l:.2}")];
+            for s in &sweeps {
+                let p = &s[i];
+                cells.push(match which {
+                    0 => format!("{:.1}", p.total_w()),
+                    1 => format!("{:.1}", p.latency),
+                    _ => format!("{:.1}", p.csc * 100.0),
+                });
+            }
+            t.row(cells);
+        }
+        t.print();
+    }
+    println!("\nport gating sleeps much more than router gating on the Single-NoC, but");
+    println!("only gates buffer/link leakage — Catnap's subnet gating still dominates.");
+    let mut all = Vec::new();
+    for s in sweeps {
+        all.extend(s);
+    }
+    emit_json("extension_port_gating", &all);
+}

@@ -1,0 +1,52 @@
+//! Figure 2: normalized system performance of a 256-core processor with
+//! an under-provisioned 128-bit Single-NoC vs the bandwidth-sustaining
+//! 512-bit Single-NoC, for the Light and Heavy workload mixes.
+//!
+//! Paper result: the Heavy workload loses ~41% on the 128-bit network;
+//! the Light workload barely cares.
+
+use catnap::MultiNocConfig;
+use catnap_bench::{emit_json, print_banner, run_mix, Table};
+use catnap_traffic::WorkloadMix;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    mix: String,
+    config: String,
+    ipc: f64,
+    normalized: f64,
+}
+
+fn main() {
+    print_banner(
+        "Figure 2",
+        "performance with 128b vs 512b Single-NoC (normalized to 512b)",
+    );
+    let warmup = 3_000;
+    let measure = 15_000;
+    let mut rows = Vec::new();
+    let mut table = Table::new(["mix", "config", "IPC", "normalized"]);
+    for mix in [WorkloadMix::Light, WorkloadMix::Heavy] {
+        let wide = run_mix(MultiNocConfig::single_noc_512b(), mix, warmup, measure, 1);
+        let narrow = run_mix(MultiNocConfig::single_noc_128b(), mix, warmup, measure, 1);
+        for r in [&wide, &narrow] {
+            let normalized = r.system.ipc / wide.system.ipc;
+            table.row([
+                r.mix.clone(),
+                r.config.clone(),
+                format!("{:.1}", r.system.ipc),
+                format!("{normalized:.3}"),
+            ]);
+            rows.push(Row {
+                mix: r.mix.clone(),
+                config: r.config.clone(),
+                ipc: r.system.ipc,
+                normalized,
+            });
+        }
+    }
+    table.print();
+    println!("\npaper: Heavy loses ~41% on 1NT-128b; Light is largely unaffected");
+    emit_json("fig02", &rows);
+}

@@ -1,0 +1,125 @@
+//! Figure 11: average packet latency vs offered load for the
+//! subnet-selection/congestion policies — naive round-robin (RR), BFA,
+//! Delay, BFM (Catnap's regional design), BFM-local and IQOcc-local —
+//! on uniform random, transpose and bit-complement traffic, plus the
+//! compensated sleep cycles of RR vs BFM (all on 4NT-128b with power
+//! gating).
+//!
+//! Paper result: RR's latency is much higher under gating; BFA and
+//! IQOcc detect congestion too slowly; Delay and BFM perform about the
+//! same (BFM wins on implementation cost); regional BFM beats BFM-local
+//! especially on non-uniform traffic; BFM exposes far more CSC than RR.
+
+use catnap::config::RegionMode;
+use catnap::{CongestionMetric, MetricKind, MultiNocConfig, SelectorKind};
+use catnap_bench::{emit_json, latency_sweep, print_banner, SweepPoint, Table};
+use catnap_traffic::SyntheticPattern;
+
+fn policies() -> Vec<(&'static str, MultiNocConfig)> {
+    vec![
+        (
+            "RR",
+            MultiNocConfig::catnap_4x128().selector(SelectorKind::RoundRobin).gating(true),
+        ),
+        (
+            "BFA",
+            MultiNocConfig::catnap_4x128()
+                .metric(CongestionMetric::paper_default(MetricKind::Bfa))
+                .gating(true),
+        ),
+        (
+            "Delay",
+            MultiNocConfig::catnap_4x128()
+                .metric(CongestionMetric::paper_default(MetricKind::Delay))
+                .gating(true),
+        ),
+        ("BFM", MultiNocConfig::catnap_4x128().gating(true)),
+        (
+            "BFM-local",
+            MultiNocConfig::catnap_4x128()
+                .region_mode(RegionMode::PerNode)
+                .rcs_period(1)
+                .gating(true),
+        ),
+        (
+            "IQOcc-local",
+            MultiNocConfig::catnap_4x128()
+                .metric(CongestionMetric::paper_default(MetricKind::IqOcc))
+                .region_mode(RegionMode::PerNode)
+                .rcs_period(1)
+                .gating(true),
+        ),
+    ]
+}
+
+fn main() {
+    print_banner("Figure 11", "congestion-policy latency and CSC comparison, 4NT-128b-PG");
+    let loads = [0.02, 0.05, 0.10, 0.15, 0.20, 0.28, 0.36, 0.44];
+    let patterns = [
+        SyntheticPattern::UniformRandom,
+        SyntheticPattern::Transpose,
+        SyntheticPattern::BitComplement,
+    ];
+    let mut all: Vec<SweepPoint> = Vec::new();
+    for pattern in patterns {
+        println!("\nlatency (cycles) — {} traffic", pattern.name());
+        let names: Vec<String> = policies().iter().map(|(n, _)| n.to_string()).collect();
+        let mut t = Table::new(
+            std::iter::once("offered".to_string()).chain(names.iter().cloned()).collect::<Vec<_>>(),
+        );
+        let sweeps: Vec<Vec<SweepPoint>> = policies()
+            .into_iter()
+            .map(|(name, cfg)| {
+                let mut s = latency_sweep(&cfg, pattern, &loads, 512, 3_000, 5_000, 6);
+                for p in &mut s {
+                    p.config = format!("{name}/{}", pattern.name());
+                }
+                s
+            })
+            .collect();
+        for (i, &l) in loads.iter().enumerate() {
+            let mut cells = vec![format!("{l:.2}")];
+            for s in &sweeps {
+                cells.push(format!("{:.1}", s[i].latency));
+            }
+            t.row(cells);
+        }
+        t.print();
+        for s in sweeps {
+            all.extend(s);
+        }
+    }
+
+    // (d) CSC of RR vs BFM under uniform random at low-to-mid loads.
+    println!("\ncompensated sleep cycles (%) — uniform random");
+    let csc_loads = [0.02, 0.05, 0.10, 0.15, 0.20];
+    let mut t = Table::new(["offered", "RR", "BFM"]);
+    let rr = latency_sweep(
+        &policies()[0].1,
+        SyntheticPattern::UniformRandom,
+        &csc_loads,
+        512,
+        3_000,
+        5_000,
+        6,
+    );
+    let bfm = latency_sweep(
+        &policies()[3].1,
+        SyntheticPattern::UniformRandom,
+        &csc_loads,
+        512,
+        3_000,
+        5_000,
+        6,
+    );
+    for (i, &l) in csc_loads.iter().enumerate() {
+        t.row([
+            format!("{l:.2}"),
+            format!("{:.1}", rr[i].csc * 100.0),
+            format!("{:.1}", bfm[i].csc * 100.0),
+        ]);
+    }
+    t.print();
+    println!("\npaper: BFM ≈ Delay on latency; RR/BFA/IQOcc inferior; BFM ≫ RR on CSC");
+    emit_json("fig11", &all);
+}

@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks of the simulator itself: router step rate,
+//! whole-network step rate, and the closed-loop system step rate.
+
+use catnap::{MultiNoc, MultiNocConfig};
+use catnap_multicore::{System, SystemConfig};
+use catnap_noc::{Network, NetworkConfig};
+use catnap_traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_network_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_step");
+    for width in [128u32, 512] {
+        g.bench_function(format!("idle_8x8_{width}b"), |b| {
+            let mut net = Network::new(NetworkConfig::with_width(width));
+            b.iter(|| {
+                net.step();
+                black_box(net.cycle())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_multinoc_loaded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multinoc_step");
+    g.bench_function("4NT-128b-PG_load0.10", |b| {
+        let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+        let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.10, 512, net.dims(), 1);
+        b.iter(|| {
+            load.drive(&mut net);
+            net.step();
+            black_box(net.cycle())
+        });
+    });
+    g.finish();
+}
+
+fn bench_system_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system_step");
+    g.sample_size(10);
+    g.bench_function("256core_medium_light", |b| {
+        let mut sys = System::new(
+            SystemConfig::paper(),
+            MultiNocConfig::catnap_4x128().gating(true),
+            WorkloadMix::MediumLight,
+            1,
+        );
+        b.iter(|| {
+            sys.step();
+            black_box(sys.total_instructions())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_network_step, bench_multinoc_loaded, bench_system_step);
+criterion_main!(benches);

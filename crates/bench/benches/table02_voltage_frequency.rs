@@ -1,0 +1,29 @@
+//! Table 2: frequency and voltage of 512-bit and 128-bit routers, from
+//! the alpha-power-law critical-path model fitted to the paper's
+//! synthesis results.
+
+use catnap_bench::{emit_json, print_banner, Table};
+use catnap_power::DelayModel;
+
+fn main() {
+    print_banner("Table 2", "router frequency/voltage design points");
+    let model = DelayModel::catnap_32nm();
+    let mut t = Table::new(["design", "width (bits)", "frequency (GHz)", "voltage (V)"]);
+    for p in model.table2() {
+        t.row([
+            p.design.to_string(),
+            p.width_bits.to_string(),
+            format!("{:.1}", p.freq_ghz),
+            format!("{:.3}", p.vdd),
+        ]);
+    }
+    t.print();
+    println!("\npaper Table 2: 512b {{2.0 GHz @ 0.750 V, 1.4 @ 0.625}}; 128b {{2.9 @ 0.750, 2.0 @ 0.625}}");
+    println!(
+        "model: required Vdd for 2 GHz — 512b: {:.3} V, 256b: {:.3} V, 128b: {:.3} V",
+        model.required_vdd(512, 2.0e9).unwrap(),
+        model.required_vdd(256, 2.0e9).unwrap(),
+        model.required_vdd(128, 2.0e9).unwrap()
+    );
+    emit_json("table02", &model.table2());
+}

@@ -1,0 +1,43 @@
+//! Table 3: the four multiprogrammed workload mixes and their average
+//! MPKI, from the synthetic benchmark catalog (the substitution for the
+//! paper's Pin traces — see DESIGN.md §3).
+
+use catnap_bench::{emit_json, print_banner, Table};
+use catnap_traffic::workload::benchmark;
+use catnap_traffic::WorkloadMix;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    mix: String,
+    applications: Vec<String>,
+    avg_mpki: f64,
+    paper_avg_mpki: f64,
+}
+
+fn main() {
+    print_banner("Table 3", "multiprogrammed workload mixes (32 instances each)");
+    let mut t = Table::new(["mix", "applications (x32 each)", "avg MPKI", "paper"]);
+    let mut rows = Vec::new();
+    for mix in WorkloadMix::ALL {
+        let apps: Vec<String> = mix
+            .applications()
+            .iter()
+            .map(|a| format!("{a}({:.1})", benchmark(a).expect("in catalog").mpki))
+            .collect();
+        t.row([
+            mix.name().to_string(),
+            apps.join(" "),
+            format!("{:.1}", mix.avg_mpki()),
+            format!("{:.1}", mix.paper_avg_mpki()),
+        ]);
+        rows.push(Row {
+            mix: mix.name().to_string(),
+            applications: mix.applications().iter().map(|s| s.to_string()).collect(),
+            avg_mpki: mix.avg_mpki(),
+            paper_avg_mpki: mix.paper_avg_mpki(),
+        });
+    }
+    t.print();
+    emit_json("table03", &rows);
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # catnap-bench
+//!
+//! Shared harness utilities for the per-figure benchmark targets. Each
+//! `[[bench]]` target (with `harness = false`) regenerates one table or
+//! figure of the Catnap paper: it runs the relevant simulations, prints
+//! an aligned text table mirroring the paper's rows/series, and writes
+//! the series as JSON under `bench_out/`.
+//!
+//! Run everything with `cargo bench --workspace`, or one figure with
+//! e.g. `cargo bench -p catnap-bench --bench fig10_uniform_power_gating`.
+
+pub mod harness;
+pub mod runs;
+
+pub use harness::{emit_json, print_banner, Table};
+pub use runs::{latency_sweep, run_mix, run_synthetic, MixResult, SweepPoint};

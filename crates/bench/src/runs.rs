@@ -1,0 +1,150 @@
+//! Common measurement procedures shared by the figure benches.
+
+use catnap::{MultiNoc, MultiNocConfig, MultiNocPowerReport};
+use catnap_multicore::{System, SystemConfig, SystemReport};
+use catnap_power::TechParams;
+use catnap_traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
+use serde::Serialize;
+
+/// One point of a synthetic-traffic measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepPoint {
+    /// Configuration name.
+    pub config: String,
+    /// Offered load, packets per node per cycle.
+    pub offered: f64,
+    /// Accepted throughput, packets per node per cycle.
+    pub accepted: f64,
+    /// Mean end-to-end packet latency in cycles.
+    pub latency: f64,
+    /// Compensated-sleep-cycle fraction in the measurement window.
+    pub csc: f64,
+    /// Dynamic network power, watts.
+    pub dynamic_w: f64,
+    /// Static network power (after gating), watts.
+    pub static_w: f64,
+}
+
+impl SweepPoint {
+    /// Total power.
+    pub fn total_w(&self) -> f64 {
+        self.dynamic_w + self.static_w
+    }
+}
+
+/// Runs synthetic traffic at a constant offered load: `warmup` cycles
+/// excluded, `measure` cycles measured.
+pub fn run_synthetic(
+    cfg: MultiNocConfig,
+    pattern: SyntheticPattern,
+    offered: f64,
+    packet_bits: u32,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> SweepPoint {
+    let name = cfg.name.clone();
+    let tech = TechParams::catnap_32nm();
+    let mut net = MultiNoc::new(cfg);
+    let mut load = SyntheticWorkload::new(pattern, offered, packet_bits, net.dims(), seed);
+    for _ in 0..warmup {
+        load.drive(&mut net);
+        net.step();
+    }
+    let start = net.snapshot();
+    for _ in 0..measure {
+        load.drive(&mut net);
+        net.step();
+    }
+    let end = net.snapshot();
+    let d = end.delta(&start);
+    let power = net.power_between(&start, &end, tech);
+    let nodes = net.dims().num_nodes();
+    SweepPoint {
+        config: name,
+        offered,
+        accepted: d.accepted_packets_per_node_cycle(nodes),
+        latency: d.avg_latency(),
+        csc: d.total_gating().csc_fraction(),
+        dynamic_w: power.dynamic.total(),
+        static_w: power.static_.total(),
+    }
+}
+
+/// Latency/throughput sweep over offered loads.
+pub fn latency_sweep(
+    cfg: &MultiNocConfig,
+    pattern: SyntheticPattern,
+    loads: &[f64],
+    packet_bits: u32,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    loads
+        .iter()
+        .map(|&l| run_synthetic(cfg.clone(), pattern, l, packet_bits, warmup, measure, seed))
+        .collect()
+}
+
+/// Result of a closed-loop multiprogrammed run.
+#[derive(Clone, Debug, Serialize)]
+pub struct MixResult {
+    /// Network configuration name.
+    pub config: String,
+    /// Workload mix name.
+    pub mix: String,
+    /// System report (IPC etc.).
+    pub system: SystemReport,
+    /// Network power over the measured window.
+    pub power: MultiNocPowerReport,
+}
+
+/// Runs a workload mix on a network design: `warmup` + `measure` cycles;
+/// power and CSC measured over the `measure` window only.
+pub fn run_mix(net_cfg: MultiNocConfig, mix: WorkloadMix, warmup: u64, measure: u64, seed: u64) -> MixResult {
+    let config = net_cfg.name.clone();
+    let tech = TechParams::catnap_32nm();
+    let mut sys = System::new(SystemConfig::paper(), net_cfg, mix, seed);
+    sys.run(warmup);
+    let start = sys.net.snapshot();
+    sys.run(measure);
+    let end = sys.net.snapshot();
+    let power = sys.net.power_between(&start, &end, tech);
+    let system = sys.report();
+    MixResult {
+        config,
+        mix: mix.name().to_string(),
+        system,
+        power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_point_sane() {
+        let p = run_synthetic(
+            MultiNocConfig::catnap_4x128(),
+            SyntheticPattern::UniformRandom,
+            0.05,
+            512,
+            500,
+            1_500,
+            3,
+        );
+        assert!(p.accepted > 0.03 && p.accepted <= 0.06, "accepted {}", p.accepted);
+        assert!(p.latency > 10.0 && p.latency < 200.0);
+        assert!(p.total_w() > 1.0);
+    }
+
+    #[test]
+    fn mix_result_sane() {
+        let r = run_mix(MultiNocConfig::single_noc_512b(), WorkloadMix::Light, 500, 1_000, 5);
+        assert!(r.system.ipc > 10.0);
+        assert!(r.power.total() > 10.0);
+        assert_eq!(r.mix, "Light");
+    }
+}

@@ -1,0 +1,89 @@
+//! Power-gating policies: when routers are asked to sleep and when whole
+//! regions are woken.
+//!
+//! The *mechanisms* (power-state machine, sleep guards, look-ahead wake
+//! signals, NI wake requests) live in `catnap-noc`; this module supplies
+//! the *policy* that drives them each cycle.
+
+use serde::{Deserialize, Serialize};
+
+/// Which power-gating policy a [`MultiNoc`](crate::MultiNoc) runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GatingPolicy {
+    /// No power gating: every router stays active.
+    None,
+    /// Matsutani-style local-idle gating (ASP-DAC '08), the paper's
+    /// baseline for Single-NoC and for round-robin Multi-NoC: any router
+    /// whose buffers have been empty for `t_idle_detect` cycles goes to
+    /// sleep; wake-ups come from look-ahead signals and NI demand only.
+    LocalIdle,
+    /// Fine-grained variant (Matsutani et al., TCAD '11): individual
+    /// input ports (buffers + incoming link) gate independently while the
+    /// crossbar, control and clock stay powered — more sleep opportunity
+    /// per unit, less leakage saved per sleeping unit.
+    LocalIdlePort,
+    /// Catnap's RCS-driven policy (Section 3.3): a router in subnet `h`
+    /// sleeps only when, additionally, the regional congestion status of
+    /// subnet `h-1` is off; it is woken as soon as that RCS turns on.
+    /// Subnet 0 is never gated.
+    CatnapRcs,
+}
+
+impl GatingPolicy {
+    /// Whether this policy ever gates routers.
+    pub fn gates(self) -> bool {
+        self != GatingPolicy::None
+    }
+
+    /// Whether subnet `subnet` may have routers gated at all under this
+    /// policy.
+    pub fn subnet_gateable(self, subnet: usize) -> bool {
+        match self {
+            GatingPolicy::None => false,
+            GatingPolicy::LocalIdle | GatingPolicy::LocalIdlePort => true,
+            GatingPolicy::CatnapRcs => subnet > 0,
+        }
+    }
+
+    /// Whether the policy gates individual ports rather than routers.
+    pub fn is_port_granularity(self) -> bool {
+        self == GatingPolicy::LocalIdlePort
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GatingPolicy::None => "no-gating",
+            GatingPolicy::LocalIdle => "local-idle",
+            GatingPolicy::LocalIdlePort => "local-idle-port",
+            GatingPolicy::CatnapRcs => "catnap-rcs",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subnet_zero_protected_only_by_catnap() {
+        assert!(!GatingPolicy::CatnapRcs.subnet_gateable(0));
+        assert!(GatingPolicy::CatnapRcs.subnet_gateable(1));
+        assert!(GatingPolicy::LocalIdle.subnet_gateable(0));
+        assert!(!GatingPolicy::None.subnet_gateable(0));
+    }
+
+    #[test]
+    fn gates_flag() {
+        assert!(!GatingPolicy::None.gates());
+        assert!(GatingPolicy::LocalIdle.gates());
+        assert!(GatingPolicy::CatnapRcs.gates());
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(GatingPolicy::CatnapRcs.name(), "catnap-rcs");
+        assert_eq!(GatingPolicy::LocalIdle.name(), "local-idle");
+        assert_eq!(GatingPolicy::None.name(), "no-gating");
+    }
+}

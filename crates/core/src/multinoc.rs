@@ -1,0 +1,648 @@
+//! The Catnap Multi-NoC: K subnet networks behind shared per-node NIs,
+//! driven by the subnet-selection, congestion-detection and power-gating
+//! policies.
+
+use crate::config::{MultiNocConfig, RegionMode, SelectorKind};
+use crate::congestion::{LocalDetector, NodeSignals};
+use crate::ni::NodeNi;
+use crate::rcs::OrNetwork;
+use crate::select::{CatnapPriority, RandomSelect, RoundRobin, SubnetSelector};
+use catnap_noc::power_state::WakeReason;
+use catnap_noc::stats::{GatingActivity, RouterActivity};
+use catnap_noc::{MeshDims, Network, NodeId, PacketDescriptor, RegionMap};
+use catnap_traffic::generator::PacketSink;
+use serde::{Deserialize, Serialize};
+
+use crate::gating::GatingPolicy;
+
+/// A multiple network-on-chip with Catnap policies.
+///
+/// Drive it by submitting packets — it implements
+/// [`catnap_traffic::generator::PacketSink`] — and calling
+/// [`MultiNoc::step`] once per cycle; read results via
+/// [`MultiNoc::snapshot`] / [`MultiNoc::finish`].
+pub struct MultiNoc {
+    cfg: MultiNocConfig,
+    subnets: Vec<Network>,
+    nis: Vec<NodeNi>,
+    detectors: Vec<Vec<LocalDetector>>,
+    lcs: Vec<Vec<bool>>,
+    or_nets: Vec<OrNetwork>,
+    selector: Box<dyn SubnetSelector + Send>,
+    cycle: u64,
+    generated_packets: u64,
+    delivered_packets: u64,
+    delivered_flits: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    ejected_flits_per_subnet: Vec<u64>,
+    injected_flits_per_subnet: Vec<u64>,
+    delivered_tails: Vec<catnap_noc::Flit>,
+    track_deliveries: bool,
+    /// Cycles each node's NI-queue head has waited behind a busy slot.
+    head_wait: Vec<u32>,
+}
+
+impl MultiNoc {
+    /// Builds a Multi-NoC from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: MultiNocConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid MultiNoc configuration: {e}");
+        }
+        let k = cfg.subnets;
+        let nodes = cfg.dims.num_nodes();
+        let subnets: Vec<Network> = (0..k).map(|_| Network::new(cfg.subnet_config())).collect();
+        let nis = cfg
+            .dims
+            .nodes()
+            .map(|n| NodeNi::new(n, k, cfg.subnet_width_bits, cfg.ni_queue_flits))
+            .collect();
+        let region_map = match cfg.region_mode {
+            RegionMode::Quadrants => RegionMap::quadrants(cfg.dims),
+            RegionMode::Global => RegionMap::global(cfg.dims),
+            RegionMode::PerNode => RegionMap::per_node(cfg.dims),
+        };
+        let or_nets = (0..k)
+            .map(|_| OrNetwork::new(region_map.clone(), cfg.rcs_period))
+            .collect();
+        let selector: Box<dyn SubnetSelector + Send> = match cfg.selector {
+            SelectorKind::RoundRobin => Box::new(RoundRobin::new(nodes)),
+            SelectorKind::Random => Box::new(RandomSelect::new(cfg.seed)),
+            SelectorKind::CatnapPriority => Box::new(CatnapPriority::new(nodes)),
+        };
+        MultiNoc {
+            subnets,
+            nis,
+            detectors: vec![vec![LocalDetector::default(); nodes]; k],
+            lcs: vec![vec![false; nodes]; k],
+            or_nets,
+            selector,
+            cycle: 0,
+            generated_packets: 0,
+            delivered_packets: 0,
+            delivered_flits: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            ejected_flits_per_subnet: vec![0; k],
+            injected_flits_per_subnet: vec![0; k],
+            delivered_tails: Vec::new(),
+            track_deliveries: false,
+            head_wait: vec![0; nodes],
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MultiNocConfig {
+        &self.cfg
+    }
+
+    /// Mesh dimensions.
+    pub fn dims(&self) -> MeshDims {
+        self.cfg.dims
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of subnets.
+    pub fn num_subnets(&self) -> usize {
+        self.cfg.subnets
+    }
+
+    /// Read access to one subnet network.
+    pub fn subnet(&self, s: usize) -> &Network {
+        &self.subnets[s]
+    }
+
+    /// The node's current congestion view of subnet `s`: local status OR
+    /// (if enabled) regional status — exactly what the NI consults before
+    /// injecting (Section 3.2.1).
+    pub fn congestion_view(&self, s: usize, node: NodeId) -> bool {
+        self.lcs[s][node.index()] || (self.cfg.use_rcs && self.or_nets[s].rcs_at(node))
+    }
+
+    /// Latched regional congestion status of subnet `s` at `node`.
+    pub fn rcs(&self, s: usize, node: NodeId) -> bool {
+        self.or_nets[s].rcs_at(node)
+    }
+
+    /// Advances the whole design by one cycle.
+    pub fn step(&mut self) {
+        let k = self.cfg.subnets;
+
+        // --- Network interfaces: refill, subnet assignment, injection ---
+        for idx in 0..self.nis.len() {
+            let node = NodeId(idx as u16);
+            self.nis[idx].refill();
+            if self.nis[idx].head_waiting() {
+                // A subnet is unattractive if it looks congested (local or
+                // regional status), or — under the NI spill rule — if its
+                // injection slot has been busy for too long while this
+                // head waited (injection-bandwidth congestion that router
+                // buffers cannot reveal).
+                let spill = self.cfg.spill_wait_cycles;
+                let stuck = spill > 0 && self.head_wait[idx] >= spill;
+                let congested: Vec<bool> = (0..k)
+                    .map(|s| self.congestion_view(s, node) || (stuck && !self.nis[idx].slot_free(s)))
+                    .collect();
+                let s = self.selector.select(idx, &congested);
+                if self.nis[idx].slot_free(s) {
+                    self.nis[idx].start_head_packet(s);
+                    self.head_wait[idx] = 0;
+                } else {
+                    self.head_wait[idx] = self.head_wait[idx].saturating_add(1);
+                }
+            } else {
+                self.head_wait[idx] = 0;
+            }
+            for s in 0..k {
+                self.nis[idx].inject_into(s, &mut self.subnets[s]);
+            }
+        }
+
+        // --- Power-gating policy ---
+        match self.cfg.gating_policy {
+            GatingPolicy::None => {}
+            GatingPolicy::LocalIdle => {
+                for s in 0..k {
+                    for node in self.cfg.dims.nodes() {
+                        self.subnets[s].request_sleep(node);
+                    }
+                }
+            }
+            GatingPolicy::LocalIdlePort => {
+                for s in 0..k {
+                    for node in self.cfg.dims.nodes() {
+                        for port in catnap_noc::Port::ALL {
+                            // Never gate the local port out from under an
+                            // in-flight NI injection.
+                            if port == catnap_noc::Port::Local && self.nis[node.index()].wants_subnet(s) {
+                                continue;
+                            }
+                            self.subnets[s].request_sleep_port(node, port);
+                        }
+                    }
+                }
+            }
+            GatingPolicy::CatnapRcs => {
+                for h in 1..k {
+                    for node in self.cfg.dims.nodes() {
+                        if self.or_nets[h - 1].rcs_at(node) {
+                            self.subnets[h].request_wake(node, WakeReason::RegionalCongestion);
+                        } else {
+                            self.subnets[h].request_sleep(node);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Step every subnet ---
+        for net in &mut self.subnets {
+            net.step();
+        }
+        self.cycle = self.subnets[0].cycle();
+
+        // --- Ejection and latency accounting ---
+        for s in 0..k {
+            for (_, flit) in self.subnets[s].drain_ejected() {
+                self.ejected_flits_per_subnet[s] += 1;
+                self.delivered_flits += 1;
+                if flit.kind.is_tail() {
+                    self.delivered_packets += 1;
+                    let lat = self.cycle.saturating_sub(flit.created_cycle);
+                    self.latency_sum += lat;
+                    self.latency_max = self.latency_max.max(lat);
+                    if self.track_deliveries {
+                        self.delivered_tails.push(flit);
+                    }
+                }
+            }
+        }
+
+        // --- Local congestion detection (post-step state) ---
+        for s in 0..k {
+            for idx in 0..self.nis.len() {
+                let node = NodeId(idx as u16);
+                let signals = NodeSignals {
+                    ni_queue_flits: self.nis[idx].ni_queue_occupancy_flits(),
+                    injected_flits_this_cycle: self.nis[idx].injected_flits_this_cycle[s],
+                };
+                let det = &mut self.detectors[s][idx];
+                det.update(&self.cfg.metric, self.subnets[s].router(node), &signals);
+                self.lcs[s][idx] = det.is_congested();
+            }
+        }
+        for (idx, ni) in self.nis.iter_mut().enumerate() {
+            let _ = idx;
+            for (s, &flits) in ni.injected_flits_this_cycle.iter().enumerate() {
+                self.injected_flits_per_subnet[s] += u64::from(flits);
+            }
+            ni.end_cycle();
+        }
+
+        // --- Regional OR networks ---
+        for s in 0..k {
+            let lcs = &self.lcs[s];
+            self.or_nets[s].tick(|n| lcs[n.index()]);
+        }
+    }
+
+    /// Enables per-packet delivery tracking (off by default so open-loop
+    /// runs don't accumulate an unbounded buffer).
+    pub fn set_track_deliveries(&mut self, on: bool) {
+        self.track_deliveries = on;
+    }
+
+    /// Drains the tail flits of packets delivered since the last call
+    /// (the closed-loop multicore substrate uses these to advance
+    /// coherence transactions). Requires
+    /// [`MultiNoc::set_track_deliveries`] to have been enabled.
+    pub fn drain_delivered(&mut self) -> Vec<catnap_noc::Flit> {
+        std::mem::take(&mut self.delivered_tails)
+    }
+
+    /// Cumulative counters at this instant (diff two snapshots for
+    /// windowed measurements).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cycle: self.cycle,
+            generated_packets: self.generated_packets,
+            delivered_packets: self.delivered_packets,
+            delivered_flits: self.delivered_flits,
+            latency_sum: self.latency_sum,
+            ejected_flits_per_subnet: self.ejected_flits_per_subnet.clone(),
+            injected_flits_per_subnet: self.injected_flits_per_subnet.clone(),
+            activity_per_subnet: self.subnets.iter().map(Network::total_activity).collect(),
+            gating_per_subnet: self.subnets.iter().map(Network::total_gating).collect(),
+            or_switch_events: self.or_nets.iter().map(OrNetwork::switch_events).sum(),
+        }
+    }
+
+    /// Number of packets still queued or in flight.
+    pub fn packets_outstanding(&self) -> u64 {
+        self.generated_packets - self.delivered_packets
+    }
+
+    /// Routers currently active / sleeping / waking, summed over subnets.
+    pub fn power_state_census(&self) -> (usize, usize, usize) {
+        self.subnets.iter().map(Network::power_state_census).fold(
+            (0, 0, 0),
+            |(a, s, w), (a2, s2, w2)| (a + a2, s + s2, w + w2),
+        )
+    }
+
+    /// Finalizes gating accounting and produces the run report.
+    pub fn finish(&mut self) -> RunReport {
+        for net in &mut self.subnets {
+            net.finalize();
+        }
+        let snap = self.snapshot();
+        let gating = snap
+            .gating_per_subnet
+            .iter()
+            .fold(GatingActivity::default(), |acc, g| acc.merged(*g));
+        let nodes = self.cfg.dims.num_nodes() as f64;
+        let cycles = self.cycle.max(1) as f64;
+        let inj_total: u64 = snap.injected_flits_per_subnet.iter().sum();
+        let utilization = snap
+            .injected_flits_per_subnet
+            .iter()
+            .map(|&f| if inj_total == 0 { 0.0 } else { f as f64 / inj_total as f64 })
+            .collect();
+        RunReport {
+            name: self.cfg.name.clone(),
+            cycles: self.cycle,
+            packets_generated: self.generated_packets,
+            packets_delivered: self.delivered_packets,
+            avg_packet_latency: if self.delivered_packets == 0 {
+                0.0
+            } else {
+                self.latency_sum as f64 / self.delivered_packets as f64
+            },
+            max_packet_latency: self.latency_max,
+            accepted_packets_per_node_cycle: self.delivered_packets as f64 / (nodes * cycles),
+            accepted_flits_per_node_cycle: self.delivered_flits as f64 / (nodes * cycles),
+            csc_fraction: gating.csc_fraction(),
+            sleep_transitions: gating.sleep_transitions,
+            subnet_utilization: utilization,
+        }
+    }
+}
+
+impl PacketSink for MultiNoc {
+    fn now(&self) -> u64 {
+        self.cycle
+    }
+
+    fn submit(&mut self, desc: PacketDescriptor) {
+        self.generated_packets += 1;
+        self.nis[desc.src.index()].submit(desc);
+    }
+}
+
+impl std::fmt::Debug for MultiNoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiNoc")
+            .field("name", &self.cfg.name)
+            .field("cycle", &self.cycle)
+            .field("generated", &self.generated_packets)
+            .field("delivered", &self.delivered_packets)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Cumulative counters of a [`MultiNoc`] at one instant.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Packets submitted.
+    pub generated_packets: u64,
+    /// Packets fully delivered.
+    pub delivered_packets: u64,
+    /// Flits delivered.
+    pub delivered_flits: u64,
+    /// Sum of end-to-end packet latencies.
+    pub latency_sum: u64,
+    /// Flits ejected per subnet.
+    pub ejected_flits_per_subnet: Vec<u64>,
+    /// Flits injected per subnet.
+    pub injected_flits_per_subnet: Vec<u64>,
+    /// Router event counters summed per subnet.
+    pub activity_per_subnet: Vec<RouterActivity>,
+    /// Gating residency summed per subnet.
+    pub gating_per_subnet: Vec<GatingActivity>,
+    /// OR-network switching events (all subnets).
+    pub or_switch_events: u64,
+}
+
+impl Snapshot {
+    /// An all-zero snapshot for `k` subnets (the start of a run).
+    pub fn zero(k: usize) -> Self {
+        Snapshot {
+            cycle: 0,
+            generated_packets: 0,
+            delivered_packets: 0,
+            delivered_flits: 0,
+            latency_sum: 0,
+            ejected_flits_per_subnet: vec![0; k],
+            injected_flits_per_subnet: vec![0; k],
+            activity_per_subnet: vec![RouterActivity::default(); k],
+            gating_per_subnet: vec![GatingActivity::default(); k],
+            or_switch_events: 0,
+        }
+    }
+
+    /// Counter differences `self - earlier` (a measurement window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is a later snapshot or has a different subnet
+    /// count.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        assert!(earlier.cycle <= self.cycle, "snapshots out of order");
+        assert_eq!(
+            earlier.ejected_flits_per_subnet.len(),
+            self.ejected_flits_per_subnet.len(),
+            "subnet count mismatch"
+        );
+        Snapshot {
+            cycle: self.cycle - earlier.cycle,
+            generated_packets: self.generated_packets - earlier.generated_packets,
+            delivered_packets: self.delivered_packets - earlier.delivered_packets,
+            delivered_flits: self.delivered_flits - earlier.delivered_flits,
+            latency_sum: self.latency_sum - earlier.latency_sum,
+            ejected_flits_per_subnet: sub_vec(&self.ejected_flits_per_subnet, &earlier.ejected_flits_per_subnet),
+            injected_flits_per_subnet: sub_vec(&self.injected_flits_per_subnet, &earlier.injected_flits_per_subnet),
+            activity_per_subnet: self
+                .activity_per_subnet
+                .iter()
+                .zip(&earlier.activity_per_subnet)
+                .map(|(a, b)| sub_activity(a, b))
+                .collect(),
+            gating_per_subnet: self
+                .gating_per_subnet
+                .iter()
+                .zip(&earlier.gating_per_subnet)
+                .map(|(a, b)| sub_gating(a, b))
+                .collect(),
+            or_switch_events: self.or_switch_events - earlier.or_switch_events,
+        }
+    }
+
+    /// Average end-to-end packet latency in this window.
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Accepted throughput in packets per node per cycle.
+    pub fn accepted_packets_per_node_cycle(&self, nodes: usize) -> f64 {
+        if self.cycle == 0 || nodes == 0 {
+            0.0
+        } else {
+            self.delivered_packets as f64 / (self.cycle as f64 * nodes as f64)
+        }
+    }
+
+    /// Combined gating residency over all subnets.
+    pub fn total_gating(&self) -> GatingActivity {
+        self.gating_per_subnet
+            .iter()
+            .fold(GatingActivity::default(), |acc, g| acc.merged(*g))
+    }
+}
+
+fn sub_vec(a: &[u64], b: &[u64]) -> Vec<u64> {
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+fn sub_activity(a: &RouterActivity, b: &RouterActivity) -> RouterActivity {
+    RouterActivity {
+        buffer_writes: a.buffer_writes - b.buffer_writes,
+        buffer_reads: a.buffer_reads - b.buffer_reads,
+        xbar_traversals: a.xbar_traversals - b.xbar_traversals,
+        link_flits: a.link_flits - b.link_flits,
+        ejected_flits: a.ejected_flits - b.ejected_flits,
+        arb_requests: a.arb_requests - b.arb_requests,
+        arb_grants: a.arb_grants - b.arb_grants,
+        head_blocked_cycles: a.head_blocked_cycles - b.head_blocked_cycles,
+    }
+}
+
+fn sub_gating(a: &GatingActivity, b: &GatingActivity) -> GatingActivity {
+    GatingActivity {
+        active_cycles: a.active_cycles - b.active_cycles,
+        sleep_cycles: a.sleep_cycles - b.sleep_cycles,
+        wakeup_cycles: a.wakeup_cycles - b.wakeup_cycles,
+        sleep_transitions: a.sleep_transitions - b.sleep_transitions,
+        compensated_sleep_cycles: a.compensated_sleep_cycles - b.compensated_sleep_cycles,
+    }
+}
+
+/// Summary of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Configuration name.
+    pub name: String,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Packets submitted.
+    pub packets_generated: u64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Mean end-to-end latency (creation to tail ejection), cycles.
+    pub avg_packet_latency: f64,
+    /// Maximum end-to-end latency.
+    pub max_packet_latency: u64,
+    /// Accepted throughput, packets per node per cycle.
+    pub accepted_packets_per_node_cycle: f64,
+    /// Accepted throughput, flits per node per cycle.
+    pub accepted_flits_per_node_cycle: f64,
+    /// Fraction of router-cycles that were compensated sleep cycles.
+    pub csc_fraction: f64,
+    /// Total active→sleep transitions.
+    pub sleep_transitions: u64,
+    /// Share of injected flits carried by each subnet.
+    pub subnet_utilization: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MultiNocConfig;
+    use catnap_noc::MessageClass;
+    use catnap_traffic::{SyntheticPattern, SyntheticWorkload};
+
+    fn desc(id: u64, src: u16, dst: u16, bits: u32) -> PacketDescriptor {
+        PacketDescriptor {
+            id: catnap_noc::PacketId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bits,
+            class: MessageClass::Synthetic,
+            created_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn single_packet_delivery_and_latency() {
+        let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128());
+        net.submit(desc(0, 0, 63, 512));
+        for _ in 0..200 {
+            net.step();
+        }
+        let rep = net.finish();
+        assert_eq!(rep.packets_delivered, 1);
+        // 14 hops * 3 cycles + serialization (4 flits) + NI overheads.
+        assert!(rep.avg_packet_latency >= 45.0 && rep.avg_packet_latency < 70.0,
+            "latency {}", rep.avg_packet_latency);
+        assert_eq!(rep.subnet_utilization[0], 1.0, "lone packet rides subnet 0");
+    }
+
+    #[test]
+    fn snapshot_delta_ordering_enforced() {
+        let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128());
+        let early = net.snapshot();
+        net.step();
+        let late = net.snapshot();
+        let d = late.delta(&early);
+        assert_eq!(d.cycle, 1);
+        let r = std::panic::catch_unwind(|| early.delta(&late));
+        assert!(r.is_err(), "reversed snapshot order must panic");
+    }
+
+    #[test]
+    fn congestion_view_false_when_idle() {
+        let net = MultiNoc::new(MultiNocConfig::catnap_4x128());
+        for s in 0..4 {
+            for node in net.dims().nodes() {
+                assert!(!net.congestion_view(s, node));
+                assert!(!net.rcs(s, node));
+            }
+        }
+    }
+
+    #[test]
+    fn spill_rule_disabled_keeps_strict_priority() {
+        // With spill 0 and no congestion, even bursty back-to-back packets
+        // from one node stay on subnet 0.
+        let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().spill_wait(0));
+        for i in 0..40 {
+            net.submit(desc(i, 0, 60, 584));
+        }
+        for _ in 0..1_500 {
+            net.step();
+        }
+        let rep = net.finish();
+        assert_eq!(rep.packets_delivered, 40);
+        assert_eq!(rep.subnet_utilization[0], 1.0, "util {:?}", rep.subnet_utilization);
+    }
+
+    #[test]
+    fn spill_rule_overflows_a_hot_injector() {
+        // 584-bit packets stream for 5 cycles; a threshold of 2 makes the
+        // second head spill while the first still occupies the slot.
+        let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().spill_wait(2));
+        for i in 0..40 {
+            net.submit(desc(i, 0, 60, 584));
+        }
+        for _ in 0..1_500 {
+            net.step();
+        }
+        let rep = net.finish();
+        assert_eq!(rep.packets_delivered, 40);
+        assert!(
+            rep.subnet_utilization[0] < 1.0,
+            "a saturated injector must spill: {:?}",
+            rep.subnet_utilization
+        );
+    }
+
+    #[test]
+    fn outstanding_counts_packets_in_flight() {
+        let mut net = MultiNoc::new(MultiNocConfig::single_noc_512b());
+        net.submit(desc(0, 0, 63, 512));
+        assert_eq!(net.packets_outstanding(), 1);
+        for _ in 0..200 {
+            net.step();
+        }
+        assert_eq!(net.packets_outstanding(), 0);
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let net = MultiNoc::new(MultiNocConfig::catnap_4x128());
+        let s = format!("{net:?}");
+        assert!(s.contains("MultiNoc") && s.contains("4NT-128b"));
+    }
+
+    #[test]
+    fn heavier_synthetic_load_uses_more_subnets_than_light() {
+        let util = |rate: f64| {
+            let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128());
+            let mut load =
+                SyntheticWorkload::new(SyntheticPattern::UniformRandom, rate, 512, net.dims(), 9);
+            for _ in 0..4_000 {
+                load.drive(&mut net);
+                net.step();
+            }
+            net.finish().subnet_utilization
+        };
+        let low = util(0.02);
+        let high = util(0.40);
+        assert!(low[0] > 0.9);
+        assert!(high[0] < 0.6, "high load must spread: {high:?}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Subnet-selection policies.
+//!
+//! When a packet reaches the head of a node's NI queue, one subnet must be
+//! chosen to carry it (all flits of a packet stay on one subnet). The
+//! choice determines whether higher-order subnets see the long idle
+//! periods that make power gating profitable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A subnet-selection policy.
+///
+/// `congested[s]` is the node's current view of subnet `s` (local OR
+/// regional congestion status, depending on configuration).
+pub trait SubnetSelector {
+    /// Chooses the subnet for the packet at the head of `node`'s NI queue.
+    fn select(&mut self, node: usize, congested: &[bool]) -> usize;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Round-robin across subnets regardless of congestion (the conventional
+/// baseline: spreads load evenly and defeats power gating).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundRobin {
+    counters: Vec<usize>,
+}
+
+impl RoundRobin {
+    /// One counter per node.
+    pub fn new(num_nodes: usize) -> Self {
+        RoundRobin {
+            counters: vec![0; num_nodes],
+        }
+    }
+}
+
+impl SubnetSelector for RoundRobin {
+    fn select(&mut self, node: usize, congested: &[bool]) -> usize {
+        let k = congested.len();
+        let s = self.counters[node] % k;
+        self.counters[node] = (s + 1) % k;
+        s
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniformly random subnet choice.
+#[derive(Clone, Debug)]
+pub struct RandomSelect {
+    rng: StdRng,
+}
+
+impl RandomSelect {
+    /// Seeded for determinism.
+    pub fn new(seed: u64) -> Self {
+        RandomSelect {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SubnetSelector for RandomSelect {
+    fn select(&mut self, _node: usize, congested: &[bool]) -> usize {
+        self.rng.gen_range(0..congested.len())
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Catnap's strict-priority policy (Section 3.2): inject into the
+/// lowest-order subnet that is not close to congestion; if every subnet is
+/// congested, round-robin among them all.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CatnapPriority {
+    rr_counters: Vec<usize>,
+}
+
+impl CatnapPriority {
+    /// One overflow round-robin counter per node.
+    pub fn new(num_nodes: usize) -> Self {
+        CatnapPriority {
+            rr_counters: vec![0; num_nodes],
+        }
+    }
+}
+
+impl SubnetSelector for CatnapPriority {
+    fn select(&mut self, node: usize, congested: &[bool]) -> usize {
+        if let Some(s) = congested.iter().position(|&c| !c) {
+            return s;
+        }
+        let k = congested.len();
+        let s = self.rr_counters[node] % k;
+        self.rr_counters[node] = (s + 1) % k;
+        s
+    }
+    fn name(&self) -> &'static str {
+        "catnap-priority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_per_node() {
+        let mut rr = RoundRobin::new(2);
+        let c = [false; 4];
+        let picks: Vec<usize> = (0..8).map(|_| rr.select(0, &c)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Independent counter for another node.
+        assert_eq!(rr.select(1, &c), 0);
+    }
+
+    #[test]
+    fn round_robin_ignores_congestion() {
+        let mut rr = RoundRobin::new(1);
+        let c = [true, false, true, false];
+        let picks: Vec<usize> = (0..4).map(|_| rr.select(0, &c)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn catnap_prefers_lowest_uncongested() {
+        let mut sel = CatnapPriority::new(1);
+        assert_eq!(sel.select(0, &[false, false, false, false]), 0);
+        assert_eq!(sel.select(0, &[true, false, false, false]), 1);
+        assert_eq!(sel.select(0, &[true, true, false, false]), 2);
+        assert_eq!(sel.select(0, &[true, true, true, false]), 3);
+        // Decongestion immediately re-prioritizes subnet 0.
+        assert_eq!(sel.select(0, &[false, true, true, true]), 0);
+    }
+
+    #[test]
+    fn catnap_round_robins_when_all_congested() {
+        let mut sel = CatnapPriority::new(1);
+        let all = [true; 4];
+        let picks: Vec<usize> = (0..8).map(|_| sel.select(0, &all)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let picks = |seed| {
+            let mut s = RandomSelect::new(seed);
+            (0..32).map(|_| s.select(0, &[false; 4])).collect::<Vec<usize>>()
+        };
+        let a = picks(1);
+        assert_eq!(a, picks(1));
+        assert!(a.iter().all(|&p| p < 4));
+        // Uses more than one subnet.
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RoundRobin::new(1).name(), "round-robin");
+        assert_eq!(CatnapPriority::new(1).name(), "catnap-priority");
+        assert_eq!(RandomSelect::new(0).name(), "random");
+    }
+}

@@ -1,0 +1,165 @@
+//! System configuration (the paper's Table 1).
+
+use catnap_noc::{MeshDims, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the many-core system around the network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Cores per network node (concentration; paper: 4 tiles/router).
+    pub cores_per_node: usize,
+    /// Instruction-window (ROB) entries per core (paper: 64).
+    pub window: u32,
+    /// Commit width, instructions per cycle (paper: 2-wide).
+    pub commit_width: u32,
+    /// Miss-status holding registers per core (paper: 32).
+    pub mshrs: usize,
+    /// Shared-L2 bank access latency in cycles (paper: 6).
+    pub l2_latency: u32,
+    /// DRAM access latency in cycles (paper: 80).
+    pub memory_latency: u32,
+    /// Peak requests each memory controller can start per cycle
+    /// (bandwidth limit; 16 GB/s per MC at 2 GHz and 64-byte blocks is
+    /// one block every 8 cycles, i.e. 0.125).
+    pub mc_requests_per_cycle: f64,
+    /// Maximum in-flight requests per memory controller.
+    pub mc_queue_depth: usize,
+    /// Control packet size in bits (64-bit address/command + 8-bit meta;
+    /// paper: 72-bit header, single flit everywhere).
+    pub control_bits: u32,
+    /// Data packet size in bits (64-byte block + 72-bit header).
+    pub data_bits: u32,
+}
+
+impl SystemConfig {
+    /// The paper's Table-1 configuration.
+    pub fn paper() -> Self {
+        SystemConfig {
+            cores_per_node: 4,
+            window: 64,
+            commit_width: 2,
+            mshrs: 32,
+            l2_latency: 6,
+            memory_latency: 80,
+            mc_requests_per_cycle: 0.125,
+            mc_queue_depth: 64,
+            control_bits: 72,
+            data_bits: 512 + 72,
+        }
+    }
+
+    /// Total cores for a mesh.
+    pub fn num_cores(&self, dims: MeshDims) -> usize {
+        self.cores_per_node * dims.num_nodes()
+    }
+
+    /// The network node hosting a core.
+    pub fn node_of_core(&self, core: usize) -> NodeId {
+        NodeId((core / self.cores_per_node) as u16)
+    }
+
+    /// Memory-controller nodes for a mesh: spread along the top and bottom
+    /// rows (eight for an 8x8 mesh, following the paper's 8 MCs; scales
+    /// with mesh width for other sizes).
+    pub fn mc_nodes(&self, dims: MeshDims) -> Vec<NodeId> {
+        let cols = dims.cols;
+        let rows = dims.rows;
+        let picks = [cols / 8, cols * 3 / 8, cols * 5 / 8, cols * 7 / 8];
+        let mut nodes = Vec::new();
+        for &x in &picks {
+            nodes.push(dims.node_at(x, 0));
+        }
+        for &x in &picks {
+            nodes.push(dims.node_at(x, rows - 1));
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores_per_node == 0 {
+            return Err("cores_per_node must be non-zero".into());
+        }
+        if self.commit_width == 0 || self.window == 0 {
+            return Err("core must commit and have a window".into());
+        }
+        if self.mshrs == 0 {
+            return Err("need at least one MSHR".into());
+        }
+        if self.mc_requests_per_cycle <= 0.0 {
+            return Err("memory bandwidth must be positive".into());
+        }
+        if self.control_bits == 0 || self.data_bits < self.control_bits {
+            return Err("packet sizes implausible".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_values() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.cores_per_node, 4);
+        assert_eq!(c.window, 64);
+        assert_eq!(c.commit_width, 2);
+        assert_eq!(c.mshrs, 32);
+        assert_eq!(c.memory_latency, 80);
+        assert_eq!(c.num_cores(MeshDims::new(8, 8)), 256);
+        assert_eq!(c.num_cores(MeshDims::new(4, 4)), 64);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn core_to_node_mapping() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.node_of_core(0), NodeId(0));
+        assert_eq!(c.node_of_core(3), NodeId(0));
+        assert_eq!(c.node_of_core(4), NodeId(1));
+        assert_eq!(c.node_of_core(255), NodeId(63));
+    }
+
+    #[test]
+    fn eight_mcs_on_8x8() {
+        let c = SystemConfig::paper();
+        let mcs = c.mc_nodes(MeshDims::new(8, 8));
+        assert_eq!(mcs.len(), 8);
+        let dims = MeshDims::new(8, 8);
+        for n in &mcs {
+            let (_, y) = dims.coords(*n);
+            assert!(y == 0 || y == 7, "MCs sit on the top/bottom rows");
+        }
+    }
+
+    #[test]
+    fn mcs_scale_down_for_4x4() {
+        let c = SystemConfig::paper();
+        let mcs = c.mc_nodes(MeshDims::new(4, 4));
+        assert!(!mcs.is_empty() && mcs.len() <= 8);
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = SystemConfig::paper();
+        c.mshrs = 0;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::paper();
+        c.data_bits = 8;
+        assert!(c.validate().is_err());
+    }
+}

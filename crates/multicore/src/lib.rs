@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # catnap-multicore
+//!
+//! A closed-loop many-core substrate for evaluating on-chip networks,
+//! modelling the paper's 256-core target system (Table 1): 2-wide cores
+//! with 64-entry instruction windows and 32 MSHRs, private L1 caches, a
+//! shared distributed L2 with a 4-hop MESI directory protocol, and eight
+//! on-chip memory controllers with 80-cycle DRAM latency.
+//!
+//! **Substitution note** (DESIGN.md §3): the paper replays Pin-collected
+//! instruction traces; we generate each core's memory behaviour
+//! synthetically from the per-benchmark parameters in
+//! [`catnap_traffic::workload`]. What the network observes — message
+//! rates, burstiness, destination spread, control/data packet mix, and
+//! the closed-loop throttling of cores by network latency and bandwidth —
+//! is modelled faithfully; absolute IPC values are not meaningful, only
+//! ratios between network configurations.
+//!
+//! ## Structure
+//!
+//! * [`core_model`] — interval-style core model: commits up to 2
+//!   instructions/cycle, generates misses per benchmark MPKI (with phase
+//!   bursts), tolerates misses up to the instruction window and MSHR
+//!   limits, then stalls until responses return.
+//! * [`protocol`] — MESI directory transaction scripts: 2-hop L2 hits,
+//!   3/4-hop directory forwards, memory fetches, invalidations and
+//!   writebacks, each leg a control (1-flit) or data (cache block)
+//!   packet.
+//! * [`cache`] — a real set-associative cache simulator (tags, LRU,
+//!   inclusive directory state) usable as an alternative to the
+//!   probabilistic hit/miss model, and validated by tests.
+//! * [`memory`] — bandwidth-limited memory controllers.
+//! * [`system`] — ties cores, protocol and memory to a
+//!   [`catnap::MultiNoc`] and reports system performance.
+
+pub mod cache;
+pub mod config;
+pub mod core_model;
+pub mod memory;
+pub mod protocol;
+pub mod system;
+pub mod system_cache;
+
+pub use config::SystemConfig;
+pub use system::{System, SystemReport};
+pub use system_cache::{CacheSystem, CacheSystemReport, CacheWorkload};

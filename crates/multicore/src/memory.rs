@@ -1,0 +1,171 @@
+//! Bandwidth-limited memory controllers.
+//!
+//! Each controller accepts block requests, starts them at a bounded rate
+//! (modelling DDR channel bandwidth: 16 GB/s per controller at 2 GHz is
+//! one 64-byte block every 8 cycles), holds each for the DRAM access
+//! latency, and then releases the response. Requests beyond the queue
+//! depth are refused back-pressure-style by the system (held at the home
+//! node).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Opaque token identifying a queued memory request (the system maps it
+/// back to a transaction).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MemToken(pub u64);
+
+/// One memory controller.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MemoryController {
+    latency: u32,
+    requests_per_cycle: f64,
+    queue_depth: usize,
+    credits: f64,
+    waiting: VecDeque<MemToken>,
+    in_service: Vec<(u64, MemToken)>,
+    /// Total requests accepted.
+    pub accepted: u64,
+    /// Total responses released.
+    pub completed: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller with the given DRAM latency (cycles), issue
+    /// bandwidth (requests per cycle, may be fractional) and queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive bandwidth or zero queue depth.
+    pub fn new(latency: u32, requests_per_cycle: f64, queue_depth: usize) -> Self {
+        assert!(requests_per_cycle > 0.0, "bandwidth must be positive");
+        assert!(queue_depth > 0, "queue depth must be non-zero");
+        MemoryController {
+            latency,
+            requests_per_cycle,
+            queue_depth,
+            credits: 0.0,
+            waiting: VecDeque::new(),
+            in_service: Vec::new(),
+            accepted: 0,
+            completed: 0,
+        }
+    }
+
+    /// Outstanding requests (waiting plus in service).
+    pub fn occupancy(&self) -> usize {
+        self.waiting.len() + self.in_service.len()
+    }
+
+    /// Whether another request can be accepted.
+    pub fn can_accept(&self) -> bool {
+        self.occupancy() < self.queue_depth
+    }
+
+    /// Enqueues a request. Returns `false` (rejecting it) when full.
+    pub fn accept(&mut self, token: MemToken) -> bool {
+        if !self.can_accept() {
+            return false;
+        }
+        self.waiting.push_back(token);
+        self.accepted += 1;
+        true
+    }
+
+    /// Advances one cycle; pushes tokens whose responses are ready into
+    /// `ready`.
+    pub fn tick(&mut self, cycle: u64, ready: &mut Vec<MemToken>) {
+        // Issue new accesses at the bandwidth limit.
+        self.credits = (self.credits + self.requests_per_cycle).min(4.0);
+        while self.credits >= 1.0 {
+            let Some(tok) = self.waiting.pop_front() else { break };
+            self.credits -= 1.0;
+            self.in_service.push((cycle + u64::from(self.latency), tok));
+        }
+        // Release completed accesses.
+        let mut i = 0;
+        while i < self.in_service.len() {
+            if self.in_service[i].0 <= cycle {
+                let (_, tok) = self.in_service.swap_remove(i);
+                ready.push(tok);
+                self.completed += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_single_request() {
+        let mut mc = MemoryController::new(80, 1.0, 16);
+        assert!(mc.accept(MemToken(1)));
+        let mut ready = Vec::new();
+        for cycle in 0..=81 {
+            mc.tick(cycle, &mut ready);
+        }
+        assert_eq!(ready, vec![MemToken(1)]);
+        assert_eq!(mc.completed, 1);
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        // One block per 8 cycles: 100 requests need ~800 cycles to issue.
+        let mut mc = MemoryController::new(10, 0.125, 1000);
+        for i in 0..100 {
+            assert!(mc.accept(MemToken(i)));
+        }
+        let mut ready = Vec::new();
+        let mut done_at = 0;
+        for cycle in 0..2_000 {
+            mc.tick(cycle, &mut ready);
+            if ready.len() == 100 && done_at == 0 {
+                done_at = cycle;
+            }
+        }
+        assert_eq!(ready.len(), 100);
+        assert!(
+            (790..=830).contains(&done_at),
+            "bandwidth-bound completion at {done_at}, expected ~800"
+        );
+    }
+
+    #[test]
+    fn queue_depth_backpressure() {
+        let mut mc = MemoryController::new(80, 0.125, 4);
+        for i in 0..4 {
+            assert!(mc.accept(MemToken(i)));
+        }
+        assert!(!mc.can_accept());
+        assert!(!mc.accept(MemToken(99)));
+        let mut ready = Vec::new();
+        for cycle in 0..100 {
+            mc.tick(cycle, &mut ready);
+        }
+        assert!(mc.can_accept(), "space frees as responses drain");
+    }
+
+    #[test]
+    fn responses_preserve_order_under_fifo_issue() {
+        let mut mc = MemoryController::new(20, 1.0, 16);
+        for i in 0..5 {
+            mc.accept(MemToken(i));
+        }
+        let mut ready = Vec::new();
+        for cycle in 0..60 {
+            mc.tick(cycle, &mut ready);
+        }
+        let ids: Vec<u64> = ready.iter().map(|t| t.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_panics() {
+        MemoryController::new(80, 0.0, 4);
+    }
+}

@@ -1,0 +1,428 @@
+//! The full closed-loop system: cores, coherence protocol, memory
+//! controllers and the Catnap Multi-NoC.
+
+use crate::config::SystemConfig;
+use crate::core_model::{Core, MissId, MissRequest};
+use crate::memory::{MemToken, MemoryController};
+use crate::protocol::{self, TransactionScript};
+use catnap::{MultiNoc, MultiNocConfig, RunReport};
+use catnap_noc::{MessageClass, NodeId, PacketDescriptor, PacketId};
+use catnap_traffic::generator::PacketSink;
+use catnap_traffic::WorkloadMix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+struct Tx {
+    core: usize,
+    miss: Option<MissId>,
+    script: TransactionScript,
+    issued_cycle: u64,
+}
+
+/// The simulated many-core system.
+pub struct System {
+    cfg: SystemConfig,
+    /// The network under evaluation (public for power/stat queries).
+    pub net: MultiNoc,
+    cores: Vec<Core>,
+    txs: HashMap<u64, Tx>,
+    pkt_to_tx: HashMap<PacketId, (u64, usize)>,
+    /// Legs waiting out a fixed service delay: cycle -> (tx, leg).
+    events: BTreeMap<u64, Vec<(u64, usize)>>,
+    mcs: Vec<MemoryController>,
+    mc_index_of_node: HashMap<NodeId, usize>,
+    mc_tokens: HashMap<u64, (u64, usize)>,
+    mc_retry: Vec<(usize, u64, usize)>,
+    rng: StdRng,
+    next_tx: u64,
+    next_packet: u64,
+    next_token: u64,
+    misses_issued: u64,
+    misses_completed: u64,
+    miss_latency_sum: u64,
+    ready_buf: Vec<MemToken>,
+    issued_buf: Vec<MissRequest>,
+}
+
+impl System {
+    /// Builds a system running `mix` on the given network design.
+    pub fn new(cfg: SystemConfig, net_cfg: MultiNocConfig, mix: WorkloadMix, seed: u64) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid system config: {e}"));
+        let mut net = MultiNoc::new(net_cfg);
+        net.set_track_deliveries(true);
+        let num_cores = cfg.num_cores(net.dims());
+        let assignment = mix.assign(num_cores);
+        let cores = assignment
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Core::new(b, cfg.commit_width, cfg.window, cfg.mshrs, seed ^ (i as u64) << 20))
+            .collect();
+        let mc_nodes = cfg.mc_nodes(net.dims());
+        let mcs = mc_nodes
+            .iter()
+            .map(|_| MemoryController::new(cfg.memory_latency, cfg.mc_requests_per_cycle, cfg.mc_queue_depth))
+            .collect();
+        let mc_index_of_node = mc_nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        System {
+            cfg,
+            net,
+            cores,
+            txs: HashMap::new(),
+            pkt_to_tx: HashMap::new(),
+            events: BTreeMap::new(),
+            mcs,
+            mc_index_of_node,
+            mc_tokens: HashMap::new(),
+            mc_retry: Vec::new(),
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+            next_tx: 0,
+            next_packet: 0,
+            next_token: 0,
+            misses_issued: 0,
+            misses_completed: 0,
+            miss_latency_sum: 0,
+            ready_buf: Vec::new(),
+            issued_buf: Vec::new(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Total instructions committed so far.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    fn random_node(&mut self) -> NodeId {
+        NodeId(self.rng.gen_range(0..self.net.dims().num_nodes() as u16))
+    }
+
+    fn random_mc_node(&mut self) -> NodeId {
+        let i = self.rng.gen_range(0..self.mcs.len());
+        *self
+            .mc_index_of_node
+            .iter()
+            .find(|(_, &idx)| idx == i)
+            .map(|(n, _)| n)
+            .expect("mc index maps to a node")
+    }
+
+    fn build_script(&mut self, core_idx: usize, req: &MissRequest) -> TransactionScript {
+        let bench = self.cores[core_idx].benchmark();
+        let (share, l2_miss) = (bench.sharing_fraction, bench.l2_miss_ratio);
+        let node = self.cfg.node_of_core(core_idx);
+        let home = self.random_node();
+        let r: f64 = self.rng.gen();
+        if req.is_write && r < share {
+            let sharer = self.random_node();
+            return protocol::write_invalidate(node, home, sharer, &self.cfg);
+        }
+        if r < l2_miss {
+            let mc = self.random_mc_node();
+            return protocol::read_memory(node, home, mc, &self.cfg);
+        }
+        if r < l2_miss + share {
+            let owner = self.random_node();
+            return protocol::read_forward(node, home, owner, &self.cfg);
+        }
+        protocol::read_l2_hit(node, home, &self.cfg)
+    }
+
+    fn submit_leg_packet(&mut self, tx_id: u64, leg_idx: usize, now: u64) {
+        let leg = self.txs[&tx_id].script.legs[leg_idx];
+        debug_assert_ne!(leg.from, leg.to);
+        let pid = PacketId(self.next_packet);
+        self.next_packet += 1;
+        self.pkt_to_tx.insert(pid, (tx_id, leg_idx));
+        self.net.submit(PacketDescriptor {
+            id: pid,
+            src: leg.from,
+            dst: leg.to,
+            bits: leg.bits,
+            class: leg.class,
+            created_cycle: now,
+        });
+    }
+
+    /// Starts leg `leg_idx`, chaining through zero-delay self-legs.
+    fn start_leg(&mut self, tx_id: u64, mut leg_idx: usize, now: u64) {
+        loop {
+            let (from, to) = {
+                let leg = &self.txs[&tx_id].script.legs[leg_idx];
+                (leg.from, leg.to)
+            };
+            if from != to {
+                self.submit_leg_packet(tx_id, leg_idx, now);
+                return;
+            }
+            // Self-leg: delivered instantly.
+            match self.after_delivery(tx_id, leg_idx, now) {
+                Some(next) => leg_idx = next,
+                None => return,
+            }
+        }
+    }
+
+    /// Handles delivery of leg `leg_idx`; returns `Some(next_leg)` when the
+    /// next leg should start immediately (zero delay, not via MC).
+    fn after_delivery(&mut self, tx_id: u64, leg_idx: usize, now: u64) -> Option<usize> {
+        let (completes_at, legs_len, core, miss, issued_cycle) = {
+            let tx = &self.txs[&tx_id];
+            (
+                tx.script.completes_at,
+                tx.script.legs.len(),
+                tx.core,
+                tx.miss,
+                tx.issued_cycle,
+            )
+        };
+        if leg_idx == completes_at {
+            if let Some(miss) = miss {
+                self.cores[core].complete(miss);
+                self.misses_completed += 1;
+                self.miss_latency_sum += now.saturating_sub(issued_cycle);
+            }
+        }
+        let next = leg_idx + 1;
+        if next >= legs_len {
+            self.txs.remove(&tx_id);
+            return None;
+        }
+        let (via_mc, delay, mc_node) = {
+            let leg = &self.txs[&tx_id].script.legs[next];
+            (leg.via_mc, leg.delay_before, leg.from)
+        };
+        if via_mc {
+            let mc_idx = *self
+                .mc_index_of_node
+                .get(&mc_node)
+                .expect("via_mc leg must originate at a memory controller node");
+            self.enqueue_mc(mc_idx, tx_id, next);
+            return None;
+        }
+        if delay > 0 {
+            self.events.entry(now + u64::from(delay)).or_default().push((tx_id, next));
+            return None;
+        }
+        Some(next)
+    }
+
+    fn enqueue_mc(&mut self, mc_idx: usize, tx_id: u64, leg_idx: usize) {
+        let token = MemToken(self.next_token);
+        self.next_token += 1;
+        if self.mcs[mc_idx].accept(token) {
+            self.mc_tokens.insert(token.0, (tx_id, leg_idx));
+        } else {
+            self.mc_retry.push((mc_idx, tx_id, leg_idx));
+        }
+    }
+
+    /// Advances the whole system by one cycle.
+    pub fn step(&mut self) {
+        let now = self.net.cycle();
+
+        // Cores issue new misses.
+        for ci in 0..self.cores.len() {
+            let mut issued = std::mem::take(&mut self.issued_buf);
+            issued.clear();
+            self.cores[ci].tick(&mut issued);
+            for req in &issued {
+                self.misses_issued += 1;
+                let script = self.build_script(ci, req);
+                let tx_id = self.next_tx;
+                self.next_tx += 1;
+                self.txs.insert(
+                    tx_id,
+                    Tx {
+                        core: ci,
+                        miss: Some(req.id),
+                        script,
+                        issued_cycle: now,
+                    },
+                );
+                self.start_leg(tx_id, 0, now);
+                // Dirty eviction accompanying the fill.
+                let bench = self.cores[ci].benchmark();
+                if self.rng.gen::<f64>() < bench.write_fraction {
+                    let node = self.cfg.node_of_core(ci);
+                    let home = self.random_node();
+                    if home != node {
+                        let wb_id = self.next_tx;
+                        self.next_tx += 1;
+                        self.txs.insert(
+                            wb_id,
+                            Tx {
+                                core: ci,
+                                miss: None,
+                                script: protocol::writeback(node, home, &self.cfg),
+                                issued_cycle: now,
+                            },
+                        );
+                        self.start_leg(wb_id, 0, now);
+                    }
+                }
+            }
+            self.issued_buf = issued;
+        }
+
+        // Delayed legs whose service time elapsed.
+        let due: Vec<(u64, usize)> = {
+            let keys: Vec<u64> = self.events.range(..=now).map(|(&k, _)| k).collect();
+            keys.into_iter().flat_map(|k| self.events.remove(&k).expect("key exists")).collect()
+        };
+        for (tx_id, leg_idx) in due {
+            self.start_leg(tx_id, leg_idx, now);
+        }
+
+        // Memory controllers.
+        let mut retry = std::mem::take(&mut self.mc_retry);
+        for (mc_idx, tx_id, leg_idx) in retry.drain(..) {
+            self.enqueue_mc(mc_idx, tx_id, leg_idx);
+        }
+        self.mc_retry = retry;
+        let mut ready = std::mem::take(&mut self.ready_buf);
+        for i in 0..self.mcs.len() {
+            ready.clear();
+            self.mcs[i].tick(now, &mut ready);
+            for token in &ready {
+                let (tx_id, leg_idx) = self.mc_tokens.remove(&token.0).expect("unknown memory token");
+                self.start_leg(tx_id, leg_idx, now);
+            }
+        }
+        self.ready_buf = ready;
+
+        // The network.
+        self.net.step();
+        let now = self.net.cycle();
+
+        // Deliveries advance transactions.
+        for tail in self.net.drain_delivered() {
+            debug_assert!(tail.class != MessageClass::Synthetic);
+            if let Some((tx_id, leg_idx)) = self.pkt_to_tx.remove(&tail.packet) {
+                if let Some(next) = self.after_delivery(tx_id, leg_idx, now) {
+                    self.start_leg(tx_id, next, now);
+                }
+            }
+        }
+    }
+
+    /// Runs `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Produces the final report (finalizes network gating accounting).
+    pub fn report(&mut self) -> SystemReport {
+        let network = self.net.finish();
+        let cycles = network.cycles.max(1);
+        let insts = self.total_instructions();
+        SystemReport {
+            cycles: network.cycles,
+            total_instructions: insts,
+            ipc: insts as f64 / cycles as f64,
+            misses_issued: self.misses_issued,
+            misses_completed: self.misses_completed,
+            avg_miss_latency: if self.misses_completed == 0 {
+                0.0
+            } else {
+                self.miss_latency_sum as f64 / self.misses_completed as f64
+            },
+            network,
+        }
+    }
+}
+
+/// Result of a closed-loop system run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed across all cores.
+    pub total_instructions: u64,
+    /// Aggregate instructions per cycle (sum over cores).
+    pub ipc: f64,
+    /// L1 misses issued.
+    pub misses_issued: u64,
+    /// Misses whose critical-path response arrived.
+    pub misses_completed: u64,
+    /// Mean cycles from miss issue to critical response.
+    pub avg_miss_latency: f64,
+    /// Network-side report.
+    pub network: RunReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system(mix: WorkloadMix, net_cfg: MultiNocConfig) -> System {
+        System::new(SystemConfig::paper(), net_cfg, mix, 42)
+    }
+
+    #[test]
+    fn light_mix_runs_and_completes_misses() {
+        let mut sys = small_system(WorkloadMix::Light, MultiNocConfig::catnap_4x128());
+        sys.run(3_000);
+        let rep = sys.report();
+        assert!(rep.total_instructions > 500_000, "insts {}", rep.total_instructions);
+        assert!(rep.misses_completed > 100);
+        assert!(rep.avg_miss_latency > 10.0, "miss latency {}", rep.avg_miss_latency);
+        // Most issued misses eventually complete (some still in flight).
+        assert!(rep.misses_completed as f64 > 0.8 * rep.misses_issued as f64);
+    }
+
+    #[test]
+    fn heavy_mix_loads_network_more_than_light() {
+        let mut light = small_system(WorkloadMix::Light, MultiNocConfig::single_noc_512b());
+        light.run(2_000);
+        let l = light.report();
+        let mut heavy = small_system(WorkloadMix::Heavy, MultiNocConfig::single_noc_512b());
+        heavy.run(2_000);
+        let h = heavy.report();
+        // Heavy demands far more bandwidth per instruction; the closed
+        // loop throttles it, so the accepted-traffic gap narrows but must
+        // stay clearly above Light's.
+        assert!(
+            h.network.accepted_flits_per_node_cycle > 1.5 * l.network.accepted_flits_per_node_cycle,
+            "heavy {} vs light {}",
+            h.network.accepted_flits_per_node_cycle,
+            l.network.accepted_flits_per_node_cycle
+        );
+        assert!(h.ipc < l.ipc, "heavy mix must commit fewer instructions");
+    }
+
+    #[test]
+    fn heavy_mix_suffers_on_narrow_network() {
+        let mut wide = small_system(WorkloadMix::Heavy, MultiNocConfig::single_noc_512b());
+        wide.run(3_000);
+        let w = wide.report();
+        let mut narrow = small_system(WorkloadMix::Heavy, MultiNocConfig::single_noc_128b());
+        narrow.run(3_000);
+        let n = narrow.report();
+        assert!(
+            n.ipc < 0.85 * w.ipc,
+            "Fig 2: heavy workload must lose clearly on 128b ({} vs {})",
+            n.ipc,
+            w.ipc
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sys = System::new(SystemConfig::paper(), MultiNocConfig::catnap_4x128(), WorkloadMix::MediumLight, seed);
+            sys.run(1_000);
+            let r = sys.report();
+            (r.total_instructions, r.misses_issued, r.network.packets_generated)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

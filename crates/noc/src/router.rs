@@ -1,0 +1,872 @@
+//! Input-buffered virtual-channel router with a speculative two-stage
+//! pipeline and a power-gating state machine.
+//!
+//! Pipeline (Peh & Dally, HPCA '01 style, with look-ahead routing):
+//!
+//! * **Stage 1 — VA + SA**: the packet at the head of an input VC already
+//!   knows its output port (carried by the head flit via look-ahead
+//!   routing). It speculatively performs virtual-channel allocation and
+//!   switch allocation in the same cycle. Allocation is separable: each
+//!   input port nominates one VC (round-robin), then each output port
+//!   grants one input port (round-robin).
+//! * **Stage 2 — ST**: granted flits traverse the crossbar and are placed
+//!   on the output links; they arrive in the downstream router's input
+//!   buffer after one link cycle.
+//!
+//! Wormhole switching: the head flit allocates one VC at the downstream
+//! input port and the packet holds it until the tail flit departs.
+//! Credit-based flow control: one credit per downstream buffer slot,
+//! returned when the downstream router dequeues a flit.
+
+use crate::flit::Flit;
+use crate::geometry::{NodeId, Port, NUM_PORTS};
+use crate::power_state::{PowerState, PowerStateMachine, WakeReason};
+use crate::stats::{GatingActivity, RouterActivity};
+use crate::vc::{Binding, InputVc};
+
+/// A flit leaving a router through a mesh output port, to be delivered to
+/// the downstream router after the link cycle.
+#[derive(Clone, Copy, Debug)]
+pub struct OutboundFlit {
+    /// Output port the flit leaves through (never [`Port::Local`]).
+    pub out_port: Port,
+    /// The flit (with `vc` set to the downstream VC).
+    pub flit: Flit,
+}
+
+/// A credit returned to the upstream router across an input port.
+#[derive(Clone, Copy, Debug)]
+pub struct CreditReturn {
+    /// The input port of *this* router the dequeued flit arrived on
+    /// (never [`Port::Local`]).
+    pub in_port: Port,
+    /// The VC the flit occupied.
+    pub vc: u8,
+}
+
+/// Result of one router cycle: flits that left, flits ejected locally, and
+/// credits to return upstream.
+#[derive(Clone, Debug, Default)]
+pub struct RouterOutput {
+    /// Flits placed on mesh links this cycle.
+    pub outbound: Vec<OutboundFlit>,
+    /// Flits ejected through the local port.
+    pub ejected: Vec<Flit>,
+    /// Credits to return to upstream routers.
+    pub credits: Vec<CreditReturn>,
+    /// Wake-up signals to send to neighbours (look-ahead wake, Matsutani
+    /// ASP-DAC '08): directions in which a head flit will travel next.
+    pub wake_pings: Vec<Port>,
+}
+
+impl RouterOutput {
+    fn clear(&mut self) {
+        self.outbound.clear();
+        self.ejected.clear();
+        self.credits.clear();
+        self.wake_pings.clear();
+    }
+}
+
+/// One mesh router.
+#[derive(Clone, Debug)]
+pub struct Router {
+    node: NodeId,
+    vcs: usize,
+    vc_depth: usize,
+    /// Input VC buffers, flattened `[port][vc]`.
+    inputs: Vec<InputVc>,
+    /// Which ports have a physical link (edge routers have fewer).
+    connected: [bool; NUM_PORTS],
+    /// Per output port, bitmask of downstream VCs currently allocated to a
+    /// packet of this router.
+    out_owned: [u64; NUM_PORTS],
+    /// Credits per output port per downstream VC, flattened. Unused for
+    /// [`Port::Local`].
+    credits: Vec<u16>,
+    /// Crossbar pipeline register: flits granted in stage 1 last cycle,
+    /// traversing the switch this cycle. At most one per input port.
+    xbar_reg: Vec<(Flit, Port)>,
+    /// Round-robin pointer per input port for input-side SA.
+    in_rr: [usize; NUM_PORTS],
+    /// Round-robin pointer per output port for output-side SA.
+    out_rr: [usize; NUM_PORTS],
+    /// Round-robin pointer per output port for VC allocation.
+    vc_rr: [usize; NUM_PORTS],
+    psm: PowerStateMachine,
+    /// Consecutive cycles with empty buffers and an empty crossbar register.
+    idle_cycles: u32,
+    t_idle_detect: u32,
+    t_wakeup: u32,
+    t_breakeven: u32,
+    /// Fine-grained port gating (Matsutani et al., TCAD '11): per-input-
+    /// port power-state machines and idle counters. `None` = whole-router
+    /// granularity only.
+    port_psm: Option<Vec<PowerStateMachine>>,
+    port_idle: [u32; NUM_PORTS],
+    /// Event counters for the power model.
+    pub activity: RouterActivity,
+}
+
+impl Router {
+    /// Creates a router.
+    ///
+    /// `connected[p]` tells whether port `p` has a link (the local port must
+    /// always be connected).
+    pub fn new(
+        node: NodeId,
+        vcs: usize,
+        vc_depth: usize,
+        connected: [bool; NUM_PORTS],
+        t_wakeup: u32,
+        t_breakeven: u32,
+        t_idle_detect: u32,
+    ) -> Self {
+        assert!(vcs > 0 && vcs <= 64, "vcs must be in 1..=64");
+        assert!(connected[Port::Local.index()], "local port must be connected");
+        let inputs = (0..NUM_PORTS * vcs).map(|_| InputVc::new(vc_depth)).collect();
+        Router {
+            node,
+            vcs,
+            vc_depth,
+            inputs,
+            connected,
+            out_owned: [0; NUM_PORTS],
+            credits: vec![vc_depth as u16; NUM_PORTS * vcs],
+            xbar_reg: Vec::with_capacity(NUM_PORTS),
+            in_rr: [0; NUM_PORTS],
+            out_rr: [0; NUM_PORTS],
+            vc_rr: [0; NUM_PORTS],
+            psm: PowerStateMachine::new(t_wakeup, t_breakeven),
+            idle_cycles: 0,
+            t_idle_detect,
+            t_wakeup,
+            t_breakeven,
+            port_psm: None,
+            port_idle: [0; NUM_PORTS],
+            activity: RouterActivity::default(),
+        }
+    }
+
+    /// Enables fine-grained per-input-port power gating: each input port
+    /// (buffers plus incoming link) has its own power-state machine; the
+    /// crossbar, control and clock stay powered. The policy layer uses
+    /// either this or whole-router gating, never both.
+    pub fn enable_port_gating(&mut self) {
+        let (tw, tb) = (self.t_wakeup, self.t_breakeven);
+        self.port_psm = Some((0..NUM_PORTS).map(|_| PowerStateMachine::new(tw, tb)).collect());
+    }
+
+    /// Whether per-port gating is enabled.
+    pub fn port_gating(&self) -> bool {
+        self.port_psm.is_some()
+    }
+
+    /// Whether `port` can receive flits this cycle (its buffers are
+    /// powered). With whole-router granularity this is the router state.
+    pub fn port_active(&self, port: Port) -> bool {
+        match &self.port_psm {
+            Some(psms) => self.psm.state().is_active() && psms[port.index()].state().is_active(),
+            None => self.psm.state().is_active(),
+        }
+    }
+
+    /// Power state of one input port (port-gating mode) or of the whole
+    /// router.
+    pub fn port_power_state(&self, port: Port) -> PowerState {
+        match &self.port_psm {
+            Some(psms) => psms[port.index()].state(),
+            None => self.psm.state(),
+        }
+    }
+
+    /// Requests a wake-up of one input port (no-op without port gating or
+    /// unless that port sleeps).
+    pub fn request_wake_port(&mut self, port: Port, cycle: u64, reason: WakeReason) {
+        if let Some(psms) = &mut self.port_psm {
+            psms[port.index()].request_wake(cycle, reason);
+        }
+    }
+
+    /// Whether one input port satisfies the local sleep guard: empty for
+    /// `t_idle_detect` cycles, no open wormhole binding on any of its VCs
+    /// (a packet may still have flits upstream of the router — e.g. in
+    /// the NI — while the buffer is momentarily empty), and port gating
+    /// enabled.
+    pub fn port_sleep_guard_ok(&self, port: Port) -> bool {
+        let Some(psms) = &self.port_psm else { return false };
+        psms[port.index()].state().is_active()
+            && self.port_idle[port.index()] >= self.t_idle_detect
+            && (0..self.vcs).all(|v| {
+                let slot = self.input(port, v);
+                slot.is_empty() && slot.binding().is_none()
+            })
+    }
+
+    /// Gates one input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guard does not hold or port gating is disabled.
+    pub fn enter_port_sleep(&mut self, port: Port, cycle: u64) {
+        assert!(self.port_sleep_guard_ok(port), "port sleep guard violated");
+        self.port_psm
+            .as_mut()
+            .expect("port gating enabled")
+            .get_mut(port.index())
+            .expect("valid port")
+            .enter_sleep(cycle);
+    }
+
+    /// This router's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current power state.
+    pub fn power_state(&self) -> PowerState {
+        self.psm.state()
+    }
+
+    /// Virtual channels per port.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// VC buffer depth in flits.
+    pub fn vc_depth(&self) -> usize {
+        self.vc_depth
+    }
+
+    fn input(&self, port: Port, vc: usize) -> &InputVc {
+        &self.inputs[port.index() * self.vcs + vc]
+    }
+
+    fn input_mut(&mut self, port: Port, vc: usize) -> &mut InputVc {
+        &mut self.inputs[port.index() * self.vcs + vc]
+    }
+
+    /// Total flits buffered at one input port (across its VCs).
+    pub fn port_occupancy(&self, port: Port) -> usize {
+        (0..self.vcs).map(|v| self.input(port, v).len()).sum()
+    }
+
+    /// Maximum input-port occupancy, in flits: the paper's **BFM** local
+    /// congestion metric (Section 3.2.1).
+    pub fn max_port_occupancy(&self) -> usize {
+        Port::ALL
+            .iter()
+            .filter(|p| self.connected[p.index()])
+            .map(|&p| self.port_occupancy(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean input-port occupancy over connected ports, in flits: the
+    /// paper's **BFA** alternative metric (Section 3.4.2).
+    pub fn avg_port_occupancy(&self) -> f64 {
+        let ports: Vec<Port> = Port::ALL.iter().copied().filter(|p| self.connected[p.index()]).collect();
+        if ports.is_empty() {
+            return 0.0;
+        }
+        let total: usize = ports.iter().map(|&p| self.port_occupancy(p)).sum();
+        total as f64 / ports.len() as f64
+    }
+
+    /// Free slots in a local-port VC (used by the network interface for
+    /// injection).
+    pub fn local_vc_free_space(&self, vc: usize) -> usize {
+        self.input(Port::Local, vc).free_space()
+    }
+
+    /// Whether all input buffers and the crossbar register are empty.
+    pub fn is_drained(&self) -> bool {
+        self.xbar_reg.is_empty() && self.inputs.iter().all(InputVc::is_empty)
+    }
+
+    /// Whether the buffer-empty condition has held for `t_idle_detect`
+    /// consecutive cycles (paper Section 3.3).
+    pub fn idle_long_enough(&self) -> bool {
+        self.idle_cycles >= self.t_idle_detect
+    }
+
+    /// Bitmask over mesh ports of outputs with at least one downstream VC
+    /// currently allocated (an open wormhole towards that neighbour).
+    pub fn outbound_binding_ports(&self) -> [bool; NUM_PORTS] {
+        let mut mask = [false; NUM_PORTS];
+        for p in Port::ALL {
+            mask[p.index()] = self.out_owned[p.index()] != 0;
+        }
+        mask
+    }
+
+    /// Whether the crossbar register holds a flit headed out of `port`.
+    pub fn xbar_holds_toward(&self, port: Port) -> bool {
+        self.xbar_reg.iter().any(|(_, p)| *p == port)
+    }
+
+    /// Number of flits in the crossbar pipeline register.
+    pub fn xbar_len(&self) -> usize {
+        self.xbar_reg.len()
+    }
+
+    /// Delivers an arriving flit into the input buffer `(port, flit.vc)`.
+    /// Returns the direction to send a look-ahead wake-up ping, if the flit
+    /// is a head flit bound for a mesh neighbour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router is not active (the flow-control protocol never
+    /// delivers flits to gated routers) or on buffer overflow.
+    pub fn deliver(&mut self, port: Port, flit: Flit) -> Option<Port> {
+        assert!(
+            self.port_active(port),
+            "flit delivered to non-active router/port {} {port} (protocol violation)",
+            self.node
+        );
+        let vc = flit.vc as usize;
+        assert!(vc < self.vcs, "flit VC out of range");
+        let ping = (flit.kind.is_head() && flit.lookahead != Port::Local).then_some(flit.lookahead);
+        self.input_mut(port, vc).push(flit);
+        self.activity.buffer_writes += 1;
+        self.idle_cycles = 0;
+        self.port_idle[port.index()] = 0;
+        ping
+    }
+
+    /// Returns one credit for `(out_port, vc)` (the downstream router
+    /// dequeued a flit).
+    pub fn return_credit(&mut self, out_port: Port, vc: u8) {
+        let idx = out_port.index() * self.vcs + vc as usize;
+        self.credits[idx] += 1;
+        debug_assert!(
+            self.credits[idx] as usize <= self.vc_depth,
+            "credit overflow on {}:{:?}",
+            self.node,
+            out_port
+        );
+    }
+
+    /// Requests a wake-up (no-op unless sleeping).
+    pub fn request_wake(&mut self, cycle: u64, reason: WakeReason) {
+        self.psm.request_wake(cycle, reason);
+    }
+
+    /// Whether the router-local sleep guard holds: active, drained, and
+    /// idle for long enough. The network adds link-level conditions (no
+    /// inbound wormholes or in-flight flits) before actually gating.
+    /// Whole-router gating is unavailable when per-port gating is in use.
+    pub fn sleep_guard_ok(&self) -> bool {
+        self.port_psm.is_none() && self.psm.state().is_active() && self.is_drained() && self.idle_long_enough()
+    }
+
+    /// Gates the router. The caller must have checked [`Router::sleep_guard_ok`]
+    /// and the network-level inbound conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guard does not hold.
+    pub fn enter_sleep(&mut self, cycle: u64) {
+        assert!(self.sleep_guard_ok(), "sleep guard violated for {}", self.node);
+        self.psm.enter_sleep(cycle);
+    }
+
+    /// One cycle of router operation. `neighbor_active[p]` tells whether
+    /// the router across output port `p` can accept flits this cycle
+    /// (`true` for the local port).
+    ///
+    /// Outputs are written into `out` (cleared first).
+    pub fn step(&mut self, neighbor_active: &[bool; NUM_PORTS], out: &mut RouterOutput) {
+        out.clear();
+        if self.psm.state().is_active() {
+            self.switch_traversal(out);
+            self.allocate(neighbor_active, out);
+            // Idle detection: buffers and pipeline empty this cycle.
+            if self.is_drained() {
+                self.idle_cycles = self.idle_cycles.saturating_add(1);
+            } else {
+                self.idle_cycles = 0;
+            }
+            for port in Port::ALL {
+                let pi = port.index();
+                if (0..self.vcs).all(|v| self.input(port, v).is_empty()) {
+                    self.port_idle[pi] = self.port_idle[pi].saturating_add(1);
+                } else {
+                    self.port_idle[pi] = 0;
+                }
+            }
+        }
+        let was_active = self.psm.state().is_active();
+        self.psm.tick();
+        if !was_active && self.psm.state().is_active() {
+            // A freshly woken router must stay up long enough for the
+            // in-flight flit that caused the wake-up to arrive; otherwise
+            // an eager gating controller could re-gate it instantly and
+            // strand the packet (the wake ping is one-shot).
+            self.idle_cycles = 0;
+        }
+        if let Some(psms) = &mut self.port_psm {
+            for (i, p) in psms.iter_mut().enumerate() {
+                let was = p.state().is_active();
+                p.tick();
+                if !was && p.state().is_active() {
+                    self.port_idle[i] = 0;
+                }
+            }
+        }
+    }
+
+    /// Stage 2: flits granted last cycle traverse the crossbar onto links
+    /// or out of the local port.
+    fn switch_traversal(&mut self, out: &mut RouterOutput) {
+        for (flit, out_port) in self.xbar_reg.drain(..) {
+            self.activity.xbar_traversals += 1;
+            if out_port == Port::Local {
+                self.activity.ejected_flits += 1;
+                out.ejected.push(flit);
+            } else {
+                self.activity.link_flits += 1;
+                out.outbound.push(OutboundFlit { out_port, flit });
+            }
+        }
+    }
+
+    /// Stage 1: speculative VC allocation plus separable switch allocation.
+    fn allocate(&mut self, neighbor_active: &[bool; NUM_PORTS], out: &mut RouterOutput) {
+        // --- VC allocation for head flits without a binding ---
+        for port in Port::ALL {
+            for vc in 0..self.vcs {
+                let slot = self.input(port, vc);
+                let Some(head) = slot.front() else { continue };
+                if !head.kind.is_head() || slot.binding().is_some() {
+                    continue;
+                }
+                let out_port = head.lookahead;
+                debug_assert!(
+                    self.connected[out_port.index()],
+                    "route towards a disconnected port at {}",
+                    self.node
+                );
+                if out_port != Port::Local && !neighbor_active[out_port.index()] {
+                    // Liveness: re-request the wake-up while the head is
+                    // waiting for the downstream router to power on.
+                    out.wake_pings.push(out_port);
+                    continue;
+                }
+                let mask = head.class.vc_mask(self.vcs) & !self.out_owned[out_port.index()];
+                if mask == 0 {
+                    continue;
+                }
+                // Round-robin scan for a free downstream VC.
+                let start = self.vc_rr[out_port.index()];
+                let mut chosen = None;
+                for off in 0..self.vcs {
+                    let cand = (start + off) % self.vcs;
+                    if mask & (1u64 << cand) != 0 {
+                        chosen = Some(cand);
+                        break;
+                    }
+                }
+                if let Some(ovc) = chosen {
+                    self.vc_rr[out_port.index()] = (ovc + 1) % self.vcs;
+                    self.out_owned[out_port.index()] |= 1u64 << ovc;
+                    self.input_mut(port, vc).bind(Binding {
+                        out_port,
+                        out_vc: ovc as u8,
+                    });
+                }
+            }
+        }
+
+        // --- Input-side switch arbitration: one candidate VC per port ---
+        // candidate[in_port] = (vc index, binding)
+        let mut candidate: [Option<(usize, Binding)>; NUM_PORTS] = [None; NUM_PORTS];
+        let mut nonempty_vcs = 0u64;
+        for port in Port::ALL {
+            let pi = port.index();
+            let start = self.in_rr[pi];
+            for off in 0..self.vcs {
+                let vc = (start + off) % self.vcs;
+                let slot = self.input(port, vc);
+                if slot.is_empty() {
+                    continue;
+                }
+                nonempty_vcs += 1;
+                let Some(binding) = slot.binding() else { continue };
+                let opi = binding.out_port.index();
+                if binding.out_port != Port::Local && !neighbor_active[opi] {
+                    // Liveness: keep requesting the sleeping neighbour's
+                    // wake-up while we hold flits for it.
+                    out.wake_pings.push(binding.out_port);
+                }
+                let eligible = if binding.out_port == Port::Local {
+                    true
+                } else {
+                    neighbor_active[opi] && self.credits[opi * self.vcs + binding.out_vc as usize] > 0
+                };
+                if eligible {
+                    self.activity.arb_requests += 1;
+                    if candidate[pi].is_none() {
+                        candidate[pi] = Some((vc, binding));
+                    }
+                }
+            }
+        }
+
+        // --- Output-side arbitration: one grant per output port ---
+        let mut granted: [Option<(usize, Binding)>; NUM_PORTS] = [None; NUM_PORTS]; // by input port
+        for out_port in Port::ALL {
+            let opi = out_port.index();
+            let start = self.out_rr[opi];
+            for off in 0..NUM_PORTS {
+                let in_pi = (start + off) % NUM_PORTS;
+                if let Some((vc, binding)) = candidate[in_pi] {
+                    if binding.out_port == out_port {
+                        granted[in_pi] = Some((vc, binding));
+                        candidate[in_pi] = None;
+                        self.out_rr[opi] = (in_pi + 1) % NUM_PORTS;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // --- Winners: dequeue, update credits/bindings, enter the crossbar
+        //     register; return credits upstream. ---
+        let mut grants = 0u64;
+        for in_port in Port::ALL {
+            let pi = in_port.index();
+            let Some((vc, binding)) = granted[pi] else { continue };
+            grants += 1;
+            self.in_rr[pi] = (vc + 1) % self.vcs;
+            let mut flit = self.input_mut(in_port, vc).pop().expect("granted VC must be non-empty");
+            self.activity.buffer_reads += 1;
+            flit.vc = binding.out_vc;
+            let opi = binding.out_port.index();
+            if binding.out_port != Port::Local {
+                let cidx = opi * self.vcs + binding.out_vc as usize;
+                debug_assert!(self.credits[cidx] > 0);
+                self.credits[cidx] -= 1;
+            }
+            if flit.kind.is_tail() {
+                self.input_mut(in_port, vc).unbind();
+                self.out_owned[opi] &= !(1u64 << binding.out_vc);
+            }
+            if in_port != Port::Local {
+                // The credit is for the buffer slot freed at the *arrival*
+                // VC, not the downstream VC just written into the flit.
+                out.credits.push(CreditReturn {
+                    in_port,
+                    vc: vc as u8,
+                });
+            }
+            self.xbar_reg.push((flit, binding.out_port));
+        }
+        self.activity.arb_grants += grants;
+        // Blocked accounting: every non-empty VC whose front flit did not
+        // move waits one more cycle. This includes credit-starved and
+        // VA-starved waiting, which is exactly the back-pressure the
+        // blocking-delay congestion metric should observe.
+        self.activity.head_blocked_cycles += nonempty_vcs.saturating_sub(grants);
+    }
+
+    /// Power-gating residency statistics. `cycle` is the current
+    /// simulation cycle, used to credit compensated sleep cycles of a
+    /// still-open sleep period. With port gating enabled, the residencies
+    /// are summed over the five ports (so totals are in port-cycles).
+    pub fn gating_activity(&self, cycle: u64) -> GatingActivity {
+        match &self.port_psm {
+            None => GatingActivity {
+                active_cycles: self.psm.active_cycles,
+                sleep_cycles: self.psm.sleep_cycles,
+                wakeup_cycles: self.psm.wakeup_cycles,
+                sleep_transitions: self.psm.sleep_transitions,
+                compensated_sleep_cycles: self.psm.compensated_at(cycle),
+            },
+            Some(psms) => psms
+                .iter()
+                .map(|p| GatingActivity {
+                    active_cycles: p.active_cycles,
+                    sleep_cycles: p.sleep_cycles,
+                    wakeup_cycles: p.wakeup_cycles,
+                    sleep_transitions: p.sleep_transitions,
+                    compensated_sleep_cycles: p.compensated_at(cycle),
+                })
+                .fold(GatingActivity::default(), GatingActivity::merged),
+        }
+    }
+
+    /// Closes the power-state accounting at the end of a simulation.
+    pub fn finalize(&mut self, cycle: u64) {
+        self.psm.finalize(cycle);
+        if let Some(psms) = &mut self.port_psm {
+            for p in psms {
+                p.finalize(cycle);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, MessageClass, PacketId};
+
+    const ALL_ACTIVE: [bool; NUM_PORTS] = [true; NUM_PORTS];
+
+    fn router() -> Router {
+        Router::new(NodeId(9), 4, 4, [true; NUM_PORTS], 10, 12, 4)
+    }
+
+    fn flit(packet: u64, kind: FlitKind, seq: u16, len: u16, lookahead: Port, vc: u8) -> Flit {
+        Flit {
+            packet: PacketId(packet),
+            kind,
+            src: NodeId(0),
+            dst: NodeId(63),
+            seq,
+            packet_len: len,
+            class: MessageClass::Synthetic,
+            lookahead,
+            vc,
+            created_cycle: 0,
+            net_inject_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn single_flit_crosses_in_two_cycles() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        r.deliver(Port::West, flit(1, FlitKind::Single, 0, 1, Port::East, 0));
+        // Cycle 1: VA + SA grant into the crossbar register.
+        r.step(&ALL_ACTIVE, &mut out);
+        assert!(out.outbound.is_empty());
+        // Cycle 2: switch traversal.
+        r.step(&ALL_ACTIVE, &mut out);
+        assert_eq!(out.outbound.len(), 1);
+        assert_eq!(out.outbound[0].out_port, Port::East);
+        assert_eq!(r.activity.buffer_reads, 1);
+        assert_eq!(r.activity.xbar_traversals, 1);
+        assert_eq!(r.activity.link_flits, 1);
+    }
+
+    #[test]
+    fn credit_returned_for_arrival_vc() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        r.deliver(Port::North, flit(1, FlitKind::Single, 0, 1, Port::South, 3));
+        r.step(&ALL_ACTIVE, &mut out);
+        assert_eq!(out.credits.len(), 1);
+        assert_eq!(out.credits[0].in_port, Port::North);
+        assert_eq!(out.credits[0].vc, 3);
+    }
+
+    #[test]
+    fn local_ejection_credits_upstream_but_injection_does_not() {
+        // A flit arriving from a mesh neighbour and ejecting locally still
+        // frees a buffer slot, so a credit goes back upstream...
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        r.deliver(Port::North, flit(1, FlitKind::Single, 0, 1, Port::Local, 0));
+        r.step(&ALL_ACTIVE, &mut out);
+        assert_eq!(out.credits.len(), 1);
+        assert_eq!(out.credits[0].in_port, Port::North);
+        r.step(&ALL_ACTIVE, &mut out);
+        assert_eq!(out.ejected.len(), 1);
+        assert_eq!(r.activity.ejected_flits, 1);
+        assert_eq!(r.activity.link_flits, 0);
+
+        // ...whereas a locally injected flit produces no credit (the NI
+        // observes buffer space directly).
+        let mut r2 = router();
+        r2.deliver(Port::Local, flit(2, FlitKind::Single, 0, 1, Port::East, 0));
+        r2.step(&ALL_ACTIVE, &mut out);
+        assert!(out.credits.is_empty());
+    }
+
+    #[test]
+    fn wormhole_binding_held_until_tail() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        r.deliver(Port::West, flit(1, FlitKind::Head, 0, 3, Port::East, 0));
+        r.step(&ALL_ACTIVE, &mut out);
+        assert!(r.outbound_binding_ports()[Port::East.index()]);
+        r.deliver(Port::West, flit(1, FlitKind::Body, 1, 3, Port::East, 0));
+        r.step(&ALL_ACTIVE, &mut out);
+        assert!(r.outbound_binding_ports()[Port::East.index()]);
+        r.deliver(Port::West, flit(1, FlitKind::Tail, 2, 3, Port::East, 0));
+        r.step(&ALL_ACTIVE, &mut out);
+        // Tail was granted this cycle, releasing the binding.
+        assert!(!r.outbound_binding_ports()[Port::East.index()]);
+    }
+
+    #[test]
+    fn downstream_vcs_kept_distinct_for_concurrent_packets() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        // Two whole packets from different input ports to the same output
+        // port, delivered up front.
+        r.deliver(Port::West, flit(1, FlitKind::Head, 0, 2, Port::East, 0));
+        r.deliver(Port::North, flit(2, FlitKind::Head, 0, 2, Port::East, 0));
+        r.deliver(Port::West, flit(1, FlitKind::Tail, 1, 2, Port::East, 0));
+        r.deliver(Port::North, flit(2, FlitKind::Tail, 1, 2, Port::East, 0));
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            r.step(&ALL_ACTIVE, &mut out);
+            for ob in &out.outbound {
+                seen.push((ob.flit.packet, ob.flit.vc));
+            }
+        }
+        let vcs_of = |p: u64| {
+            seen.iter()
+                .filter(|(pk, _)| *pk == PacketId(p))
+                .map(|(_, vc)| *vc)
+                .collect::<Vec<u8>>()
+        };
+        let a = vcs_of(1);
+        let b = vcs_of(2);
+        assert_eq!(a.len(), 2, "packet 1 flits: {seen:?}");
+        assert_eq!(b.len(), 2, "packet 2 flits: {seen:?}");
+        assert!(a.iter().all(|&v| v == a[0]), "packet keeps one VC");
+        assert!(b.iter().all(|&v| v == b[0]), "packet keeps one VC");
+        assert_ne!(a[0], b[0], "concurrent packets must use distinct downstream VCs");
+    }
+
+    #[test]
+    fn only_one_grant_per_output_port_per_cycle() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        r.deliver(Port::West, flit(1, FlitKind::Single, 0, 1, Port::East, 0));
+        r.deliver(Port::North, flit(2, FlitKind::Single, 0, 1, Port::East, 1));
+        r.step(&ALL_ACTIVE, &mut out);
+        assert_eq!(r.activity.arb_grants, 1, "output port conflict must serialize");
+        assert!(r.activity.head_blocked_cycles >= 1);
+        r.step(&ALL_ACTIVE, &mut out);
+        assert_eq!(out.outbound.len(), 1);
+        r.step(&ALL_ACTIVE, &mut out);
+        assert_eq!(out.outbound.len(), 1);
+    }
+
+    #[test]
+    fn no_grant_toward_inactive_neighbor() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        let mut east_off = ALL_ACTIVE;
+        east_off[Port::East.index()] = false;
+        r.deliver(Port::West, flit(1, FlitKind::Single, 0, 1, Port::East, 0));
+        for _ in 0..5 {
+            r.step(&east_off, &mut out);
+            assert!(out.outbound.is_empty());
+        }
+        assert_eq!(r.activity.buffer_reads, 0);
+        assert!(r.activity.head_blocked_cycles >= 5);
+        // Neighbour wakes: flit proceeds.
+        r.step(&ALL_ACTIVE, &mut out);
+        r.step(&ALL_ACTIVE, &mut out);
+        assert_eq!(out.outbound.len(), 1);
+    }
+
+    #[test]
+    fn credit_starvation_blocks_sending() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        // Consume all 4 credits of the chosen downstream VC by sending a
+        // 5-flit packet with no credits returned.
+        for (i, kind) in [FlitKind::Head, FlitKind::Body, FlitKind::Body, FlitKind::Body]
+            .iter()
+            .enumerate()
+        {
+            r.deliver(Port::West, flit(1, *kind, i as u16, 6, Port::East, 0));
+        }
+        let mut sent = 0;
+        for _ in 0..12 {
+            r.step(&ALL_ACTIVE, &mut out);
+            sent += out.outbound.len();
+        }
+        assert_eq!(sent, 4, "only vc_depth flits may be in flight without credit returns");
+        // Return one credit for the VC that was allocated.
+        let alloc_vc = (0..4).find(|&v| r.out_owned[Port::East.index()] & (1 << v) != 0).unwrap();
+        r.deliver(Port::West, flit(1, FlitKind::Body, 4, 6, Port::East, 0));
+        r.return_credit(Port::East, alloc_vc as u8);
+        let mut sent2 = 0;
+        for _ in 0..4 {
+            r.step(&ALL_ACTIVE, &mut out);
+            sent2 += out.outbound.len();
+        }
+        assert_eq!(sent2, 1);
+    }
+
+    #[test]
+    fn idle_detection_counts_consecutive_empty_cycles() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        assert!(!r.idle_long_enough());
+        for _ in 0..4 {
+            r.step(&ALL_ACTIVE, &mut out);
+        }
+        assert!(r.idle_long_enough());
+        assert!(r.sleep_guard_ok());
+        // A delivery resets idleness.
+        r.deliver(Port::West, flit(1, FlitKind::Single, 0, 1, Port::East, 0));
+        assert!(!r.idle_long_enough());
+    }
+
+    #[test]
+    fn sleep_and_wake_cycle() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        for _ in 0..4 {
+            r.step(&ALL_ACTIVE, &mut out);
+        }
+        r.enter_sleep(4);
+        assert!(r.power_state().is_sleeping());
+        // Sleeping routers do nothing.
+        r.step(&ALL_ACTIVE, &mut out);
+        assert!(out.outbound.is_empty());
+        r.request_wake(6, WakeReason::LookaheadSignal);
+        for _ in 0..10 {
+            assert!(!r.power_state().is_active());
+            r.step(&ALL_ACTIVE, &mut out);
+        }
+        assert!(r.power_state().is_active());
+        let g = r.gating_activity(20);
+        assert_eq!(g.sleep_transitions, 1);
+        assert!(g.wakeup_cycles == 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol violation")]
+    fn delivery_to_sleeping_router_panics() {
+        let mut r = router();
+        let mut out = RouterOutput::default();
+        for _ in 0..4 {
+            r.step(&ALL_ACTIVE, &mut out);
+        }
+        r.enter_sleep(4);
+        r.deliver(Port::West, flit(1, FlitKind::Single, 0, 1, Port::East, 0));
+    }
+
+    #[test]
+    fn bfm_is_max_port_occupancy() {
+        let mut r = router();
+        r.deliver(Port::West, flit(1, FlitKind::Head, 0, 9, Port::East, 0));
+        r.deliver(Port::West, flit(1, FlitKind::Body, 1, 9, Port::East, 0));
+        r.deliver(Port::North, flit(2, FlitKind::Head, 0, 9, Port::East, 1));
+        assert_eq!(r.port_occupancy(Port::West), 2);
+        assert_eq!(r.port_occupancy(Port::North), 1);
+        assert_eq!(r.max_port_occupancy(), 2);
+        assert!((r.avg_port_occupancy() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deliver_returns_lookahead_wake_ping() {
+        let mut r = router();
+        let ping = r.deliver(Port::West, flit(1, FlitKind::Head, 0, 2, Port::East, 0));
+        assert_eq!(ping, Some(Port::East));
+        let no_ping = r.deliver(Port::West, flit(1, FlitKind::Tail, 1, 2, Port::East, 0));
+        assert_eq!(no_ping, None);
+        let local = r.deliver(Port::North, flit(2, FlitKind::Single, 0, 1, Port::Local, 0));
+        assert_eq!(local, None, "ejecting flits need no wake ping");
+    }
+}

@@ -1,0 +1,189 @@
+//! Virtual-channel input buffers and wormhole bindings.
+
+use crate::flit::Flit;
+use crate::geometry::Port;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The downstream resources a packet at the head of an input VC has been
+/// allocated: an output port and a VC at the downstream router. Held from
+/// successful VC allocation until the tail flit leaves (wormhole
+/// switching).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Binding {
+    /// Output port at this router.
+    pub out_port: Port,
+    /// Virtual channel at the downstream router's input port.
+    pub out_vc: u8,
+}
+
+/// One virtual-channel input buffer of a router port.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InputVc {
+    buf: VecDeque<Flit>,
+    depth: usize,
+    binding: Option<Binding>,
+    /// Cycles the head flit has waited without winning switch allocation
+    /// (for the blocking-delay congestion metric).
+    pub head_blocked_cycles: u64,
+}
+
+impl InputVc {
+    /// Creates an empty VC buffer of the given depth (in flits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "VC depth must be non-zero");
+        InputVc {
+            buf: VecDeque::with_capacity(depth),
+            depth,
+            binding: None,
+            head_blocked_cycles: 0,
+        }
+    }
+
+    /// Number of buffered flits.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Free flit slots.
+    pub fn free_space(&self) -> usize {
+        self.depth - self.buf.len()
+    }
+
+    /// Buffer depth in flits.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Enqueues an arriving flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (a credit protocol violation).
+    pub fn push(&mut self, flit: Flit) {
+        assert!(self.buf.len() < self.depth, "VC buffer overflow: credit protocol violated");
+        self.buf.push_back(flit);
+    }
+
+    /// The flit at the head of the buffer.
+    pub fn front(&self) -> Option<&Flit> {
+        self.buf.front()
+    }
+
+    /// Dequeues the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.buf.pop_front()
+    }
+
+    /// Current wormhole binding, if the packet at the head has been
+    /// allocated downstream resources.
+    pub fn binding(&self) -> Option<Binding> {
+        self.binding
+    }
+
+    /// Records a successful VC allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binding is already held.
+    pub fn bind(&mut self, binding: Binding) {
+        assert!(self.binding.is_none(), "VC already holds a wormhole binding");
+        self.binding = Some(binding);
+    }
+
+    /// Releases the wormhole binding (after the tail flit departs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no binding is held.
+    pub fn unbind(&mut self) -> Binding {
+        self.binding.take().expect("no wormhole binding to release")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, MessageClass, PacketId};
+    use crate::geometry::NodeId;
+
+    fn flit(seq: u16) -> Flit {
+        Flit {
+            packet: PacketId(7),
+            kind: FlitKind::Body,
+            src: NodeId(0),
+            dst: NodeId(1),
+            seq,
+            packet_len: 4,
+            class: MessageClass::Synthetic,
+            lookahead: Port::East,
+            vc: 0,
+            created_cycle: 0,
+            net_inject_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut vc = InputVc::new(4);
+        for s in 0..4 {
+            vc.push(flit(s));
+        }
+        assert_eq!(vc.len(), 4);
+        assert_eq!(vc.free_space(), 0);
+        for s in 0..4 {
+            assert_eq!(vc.pop().unwrap().seq, s);
+        }
+        assert!(vc.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut vc = InputVc::new(2);
+        vc.push(flit(0));
+        vc.push(flit(1));
+        vc.push(flit(2));
+    }
+
+    #[test]
+    fn binding_lifecycle() {
+        let mut vc = InputVc::new(4);
+        assert!(vc.binding().is_none());
+        let b = Binding {
+            out_port: Port::South,
+            out_vc: 2,
+        };
+        vc.bind(b);
+        assert_eq!(vc.binding(), Some(b));
+        assert_eq!(vc.unbind(), b);
+        assert!(vc.binding().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn double_bind_panics() {
+        let mut vc = InputVc::new(4);
+        let b = Binding {
+            out_port: Port::South,
+            out_vc: 2,
+        };
+        vc.bind(b);
+        vc.bind(b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_depth_panics() {
+        InputVc::new(0);
+    }
+}

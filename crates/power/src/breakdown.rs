@@ -1,0 +1,162 @@
+//! Per-component power breakdown, matching the six components of the
+//! paper's Figure 7: buffer, crossbar, control, clock, link, and network
+//! interface.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Power (or energy) attributed to each network component, in watts (or
+/// joules — the struct is unit-agnostic and linear).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Router input buffers.
+    pub buffer: f64,
+    /// Crossbars.
+    pub crossbar: f64,
+    /// Control logic (routing, arbitration, VC state).
+    pub control: f64,
+    /// Clock distribution.
+    pub clock: f64,
+    /// Inter-router links.
+    pub link: f64,
+    /// Network interfaces (shared per node across subnets).
+    pub ni: f64,
+}
+
+impl PowerBreakdown {
+    /// Sum over all components.
+    pub fn total(&self) -> f64 {
+        self.buffer + self.crossbar + self.control + self.clock + self.link + self.ni
+    }
+
+    /// Component values in Figure-7 stacking order:
+    /// NI, Link, Clock, Control, Crossbar, Buffer.
+    pub fn fig7_order(&self) -> [(&'static str, f64); 6] {
+        [
+            ("NI", self.ni),
+            ("Link", self.link),
+            ("Clock", self.clock),
+            ("Control", self.control),
+            ("Crossbar", self.crossbar),
+            ("Buffer", self.buffer),
+        ]
+    }
+
+    /// Returns a breakdown with every component non-negative (clamped).
+    pub fn clamped(&self) -> PowerBreakdown {
+        PowerBreakdown {
+            buffer: self.buffer.max(0.0),
+            crossbar: self.crossbar.max(0.0),
+            control: self.control.max(0.0),
+            clock: self.clock.max(0.0),
+            link: self.link.max(0.0),
+            ni: self.ni.max(0.0),
+        }
+    }
+}
+
+impl Add for PowerBreakdown {
+    type Output = PowerBreakdown;
+    fn add(self, o: PowerBreakdown) -> PowerBreakdown {
+        PowerBreakdown {
+            buffer: self.buffer + o.buffer,
+            crossbar: self.crossbar + o.crossbar,
+            control: self.control + o.control,
+            clock: self.clock + o.clock,
+            link: self.link + o.link,
+            ni: self.ni + o.ni,
+        }
+    }
+}
+
+impl AddAssign for PowerBreakdown {
+    fn add_assign(&mut self, o: PowerBreakdown) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<f64> for PowerBreakdown {
+    type Output = PowerBreakdown;
+    fn mul(self, k: f64) -> PowerBreakdown {
+        PowerBreakdown {
+            buffer: self.buffer * k,
+            crossbar: self.crossbar * k,
+            control: self.control * k,
+            clock: self.clock * k,
+            link: self.link * k,
+            ni: self.ni * k,
+        }
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer {:.2} + crossbar {:.2} + control {:.2} + clock {:.2} + link {:.2} + NI {:.2} = {:.2} W",
+            self.buffer,
+            self.crossbar,
+            self.control,
+            self.clock,
+            self.link,
+            self.ni,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PowerBreakdown {
+        PowerBreakdown {
+            buffer: 1.0,
+            crossbar: 2.0,
+            control: 3.0,
+            clock: 4.0,
+            link: 5.0,
+            ni: 6.0,
+        }
+    }
+
+    #[test]
+    fn total_sums_components() {
+        assert!((sample().total() - 21.0).abs() < 1e-12);
+        assert_eq!(PowerBreakdown::default().total(), 0.0);
+    }
+
+    #[test]
+    fn linear_ops() {
+        let s = sample();
+        let d = s + s;
+        assert!((d.total() - 42.0).abs() < 1e-12);
+        let h = s * 0.5;
+        assert!((h.total() - 10.5).abs() < 1e-12);
+        let mut a = s;
+        a += s;
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn fig7_order_is_stable() {
+        let names: Vec<&str> = sample().fig7_order().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["NI", "Link", "Clock", "Control", "Crossbar", "Buffer"]);
+    }
+
+    #[test]
+    fn clamp_removes_negatives() {
+        let mut s = sample();
+        s.clock = -1.0;
+        let c = s.clamped();
+        assert_eq!(c.clock, 0.0);
+        assert_eq!(c.buffer, 1.0);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let s = format!("{}", sample());
+        assert!(s.contains("21.00 W"));
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # catnap-power
+//!
+//! An Orion-2-style analytic power model for network-on-chip routers,
+//! links and network interfaces, calibrated to the published anchors of
+//! the Catnap paper (ISCA 2013, Section 4.2-4.3):
+//!
+//! * ~25 W of static (leakage) power for a bandwidth-equivalent 8x8
+//!   concentrated-mesh network at 32 nm (both 1NT-512b and 4NT-128b);
+//! * leakage ≈ 39% of total network power at saturation for the
+//!   512-bit Single-NoC;
+//! * the voltage/frequency points of Table 2 (512-bit router: 2.0 GHz @
+//!   0.750 V; 128-bit router: 2.0 GHz @ 0.625 V), reproduced by an
+//!   alpha-power-law delay model whose critical path grows linearly with
+//!   crossbar datapath width;
+//! * SPICE-derived gating costs: 10-cycle wake-up, 12-cycle break-even,
+//!   8.7 pJ per regional-congestion OR-network switch.
+//!
+//! The model follows the paper's structure arguments: crossbar energy and
+//! area scale with the *square* of datapath width, buffers and links scale
+//! linearly, and dynamic power scales with the square of supply voltage —
+//! which is what makes several narrow subnets cheaper than one wide
+//! network at high aggregate bandwidth.
+//!
+//! ## Layers
+//!
+//! * [`TechParams`] — per-event energy and per-bit leakage coefficients.
+//! * [`DelayModel`] — maximum frequency vs. width and voltage; reproduces
+//!   Table 2 and answers "what Vdd does a `W`-bit router need for 2 GHz?".
+//! * [`RouterPowerModel`] / [`NetworkPowerModel`] — convert
+//!   [`RouterActivity`](catnap_noc::RouterActivity) event counts and
+//!   gating residency into a per-component [`PowerBreakdown`].
+//! * [`analytic`] — closed-form power at a given per-port load factor
+//!   (used for the paper's Figure 7, which assumes a 0.5 load factor).
+
+pub mod analytic;
+pub mod breakdown;
+pub mod model;
+pub mod params;
+pub mod voltage;
+
+pub use breakdown::PowerBreakdown;
+pub use model::{NetworkPowerModel, RouterPowerModel};
+pub use params::TechParams;
+pub use voltage::{DelayModel, VoltagePoint};

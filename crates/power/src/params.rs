@@ -1,0 +1,128 @@
+//! Technology parameters: per-event dynamic energies and per-bit leakage
+//! coefficients, calibrated for the paper's 32 nm, 2 GHz design point.
+//!
+//! All dynamic energies are specified at the reference voltage
+//! [`TechParams::vdd_ref`] (0.75 V) and scaled by `(Vdd / vdd_ref)^2` at
+//! use. Leakage is taken voltage-independent by default (matching the
+//! paper's observation that both bandwidth-equivalent designs leak ~25 W
+//! even though the Multi-NoC runs at 0.625 V); an exponent is provided for
+//! sensitivity studies.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy and leakage coefficients for the power model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Reference supply voltage at which dynamic energies are specified.
+    pub vdd_ref: f64,
+
+    // --- Dynamic energy coefficients (pJ, at vdd_ref) ---
+    /// Buffer write energy per bit.
+    pub buf_write_pj_per_bit: f64,
+    /// Buffer read energy per bit.
+    pub buf_read_pj_per_bit: f64,
+    /// Crossbar traversal energy per bit *squared* of datapath width
+    /// (matrix crossbar wire capacitance grows with area).
+    pub xbar_pj_per_bit2: f64,
+    /// Link traversal energy per bit (2.5 mm inter-router link).
+    pub link_pj_per_bit: f64,
+    /// Network-interface energy per bit per transit (inject or eject).
+    pub ni_pj_per_bit: f64,
+    /// Clock-tree dynamic energy per datapath-width bit per active cycle.
+    pub clock_pj_per_width_bit_cycle: f64,
+    /// Control-plane dynamic energy per active router cycle.
+    pub control_pj_per_cycle: f64,
+    /// Arbitration energy per switch-allocation grant.
+    pub arb_pj_per_grant: f64,
+    /// Energy per regional-congestion OR-network switching event (paper:
+    /// 8.7 pJ from SPICE, Section 4.1).
+    pub or_network_pj_per_switch: f64,
+
+    // --- Leakage coefficients (W, at vdd_ref) ---
+    /// Leakage per buffer storage bit (router input buffers and NI queue).
+    pub leak_w_per_buffer_bit: f64,
+    /// Leakage per bit-squared of crossbar datapath width.
+    pub leak_w_per_xbar_bit2: f64,
+    /// Leakage per directed-link bit (repeaters/drivers).
+    pub leak_w_per_link_bit: f64,
+    /// Fixed control/clock-tree leakage per router.
+    pub leak_w_fixed_per_router: f64,
+    /// Exponent of `(Vdd / vdd_ref)` applied to leakage (0 = voltage
+    /// independent, the default).
+    pub leak_voltage_exponent: f64,
+
+    /// Extra link power factor for Multi-NoC layouts, from the paper's
+    /// layout analysis of crossover wiring (Section 5.2: about +12% for
+    /// four 128-bit subnets).
+    pub multi_link_crossover_factor: f64,
+}
+
+impl TechParams {
+    /// Coefficients calibrated to the paper's 32 nm anchors. See the
+    /// crate-level docs for the calibration targets.
+    pub fn catnap_32nm() -> Self {
+        TechParams {
+            vdd_ref: 0.750,
+            buf_write_pj_per_bit: 0.030,
+            buf_read_pj_per_bit: 0.025,
+            xbar_pj_per_bit2: 1.43e-4,
+            link_pj_per_bit: 0.0366,
+            ni_pj_per_bit: 0.040,
+            clock_pj_per_width_bit_cycle: 0.122,
+            control_pj_per_cycle: 0.004,
+            arb_pj_per_grant: 0.3,
+            or_network_pj_per_switch: 8.7,
+            leak_w_per_buffer_bit: 4.96e-6,
+            leak_w_per_xbar_bit2: 2.98e-7,
+            leak_w_per_link_bit: 30.5e-6,
+            leak_w_fixed_per_router: 5.5e-3,
+            leak_voltage_exponent: 0.0,
+            multi_link_crossover_factor: 1.12,
+        }
+    }
+
+    /// Dynamic-energy scaling factor at supply voltage `vdd`.
+    pub fn dynamic_scale(&self, vdd: f64) -> f64 {
+        let r = vdd / self.vdd_ref;
+        r * r
+    }
+
+    /// Leakage scaling factor at supply voltage `vdd`.
+    pub fn leakage_scale(&self, vdd: f64) -> f64 {
+        (vdd / self.vdd_ref).powf(self.leak_voltage_exponent)
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams::catnap_32nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_scale_is_quadratic() {
+        let t = TechParams::catnap_32nm();
+        assert!((t.dynamic_scale(0.75) - 1.0).abs() < 1e-12);
+        let s = t.dynamic_scale(0.625);
+        assert!((s - (0.625f64 / 0.75).powi(2)).abs() < 1e-12);
+        assert!(s > 0.69 && s < 0.70);
+    }
+
+    #[test]
+    fn leakage_voltage_independent_by_default() {
+        let t = TechParams::catnap_32nm();
+        assert!((t.leakage_scale(0.625) - 1.0).abs() < 1e-12);
+        let mut t2 = t;
+        t2.leak_voltage_exponent = 1.0;
+        assert!((t2.leakage_scale(0.625) - 0.625 / 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn or_network_energy_matches_paper() {
+        assert!((TechParams::catnap_32nm().or_network_pj_per_switch - 8.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Router critical-path delay model: maximum frequency as a function of
+//! datapath width and supply voltage.
+//!
+//! The paper synthesizes the arbitration and matrix-crossbar stages at
+//! 32 nm and finds the crossbar dominates the critical path for widths of
+//! 256 bits and beyond, so a 512-bit router needs 0.750 V to reach 2 GHz
+//! while a 128-bit router reaches it at 0.625 V (Table 2). We model this
+//! with an alpha-power-law MOSFET drive (Sakurai-Newton):
+//!
+//! ```text
+//! f_max(W, V) = C · ((V - Vt)^alpha / V) / (d0 + W)
+//! ```
+//!
+//! with `Vt = 0.38 V`, `alpha = 1.3`, and `d0, C` fitted so that all four
+//! rows of Table 2 are reproduced.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VoltagePoint {
+    /// Design name ("Single-NoC" or "Multi-NoC").
+    pub design: &'static str,
+    /// Router datapath width in bits.
+    pub width_bits: u32,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+/// Alpha-power-law critical-path delay model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    /// Threshold voltage.
+    pub vt: f64,
+    /// Velocity-saturation exponent.
+    pub alpha: f64,
+    /// Width-independent part of the critical path (arbitration etc.), in
+    /// the same arbitrary units as one bit of crossbar width.
+    pub d0: f64,
+    /// Overall drive constant, fitted to Table 2.
+    pub c: f64,
+}
+
+impl DelayModel {
+    /// The model fitted to the paper's Table 2.
+    pub fn catnap_32nm() -> Self {
+        // Fit: f(128)/f(512) at equal V must be 2.9/2.0, giving
+        // d0 = (512 - 1.45*128) / 0.45; C anchors f(512, 0.75) = 2 GHz.
+        let vt = 0.38;
+        let alpha = 1.3;
+        let d0 = (512.0 - 1.45 * 128.0) / 0.45;
+        let h075 = DelayModel::drive(vt, alpha, 0.750);
+        let c = 2.0e9 * (d0 + 512.0) / h075;
+        DelayModel { vt, alpha, d0, c }
+    }
+
+    fn drive(vt: f64, alpha: f64, vdd: f64) -> f64 {
+        if vdd <= vt {
+            0.0
+        } else {
+            (vdd - vt).powf(alpha) / vdd
+        }
+    }
+
+    /// Maximum clock frequency (Hz) of a router with the given datapath
+    /// width at the given supply voltage.
+    pub fn f_max_hz(&self, width_bits: u32, vdd: f64) -> f64 {
+        self.c * DelayModel::drive(self.vt, self.alpha, vdd) / (self.d0 + width_bits as f64)
+    }
+
+    /// Minimum supply voltage for a router of the given width to run at
+    /// `freq_hz`, found by bisection. Returns `None` if even 1.2 V is
+    /// insufficient.
+    pub fn required_vdd(&self, width_bits: u32, freq_hz: f64) -> Option<f64> {
+        let mut lo = self.vt + 1e-4;
+        let mut hi = 1.2;
+        if self.f_max_hz(width_bits, hi) < freq_hz {
+            return None;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.f_max_hz(width_bits, mid) >= freq_hz {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+
+    /// The paper's Table 2, as predicted by this model (frequencies are
+    /// computed; voltages are the paper's operating points).
+    pub fn table2(&self) -> Vec<VoltagePoint> {
+        let rows = [
+            ("Single-NoC", 512u32, 0.750),
+            ("Single-NoC", 512, 0.625),
+            ("Multi-NoC", 128, 0.750),
+            ("Multi-NoC", 128, 0.625),
+        ];
+        rows.iter()
+            .map(|&(design, w, v)| VoltagePoint {
+                design,
+                width_bits: w,
+                freq_ghz: self.f_max_hz(w, v) / 1e9,
+                vdd: v,
+            })
+            .collect()
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::catnap_32nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table2_frequencies() {
+        let m = DelayModel::catnap_32nm();
+        let expected = [
+            (512u32, 0.750, 2.0),
+            (512, 0.625, 1.4),
+            (128, 0.750, 2.9),
+            (128, 0.625, 2.0),
+        ];
+        for (w, v, f_ghz) in expected {
+            let f = m.f_max_hz(w, v) / 1e9;
+            assert!(
+                (f - f_ghz).abs() < 0.05,
+                "f_max({w}b, {v}V) = {f:.3} GHz, paper says {f_ghz}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrower_router_needs_lower_voltage_for_2ghz() {
+        let m = DelayModel::catnap_32nm();
+        let v512 = m.required_vdd(512, 2.0e9).unwrap();
+        let v128 = m.required_vdd(128, 2.0e9).unwrap();
+        assert!(v128 < v512, "narrow router must reach 2 GHz at lower Vdd");
+        assert!((v512 - 0.750).abs() < 0.01);
+        assert!((v128 - 0.625).abs() < 0.01);
+    }
+
+    #[test]
+    fn frequency_monotonic_in_voltage_and_width() {
+        let m = DelayModel::catnap_32nm();
+        let mut last = 0.0;
+        for mv in (400..=1200).step_by(50) {
+            let f = m.f_max_hz(256, mv as f64 / 1000.0);
+            assert!(f >= last);
+            last = f;
+        }
+        assert!(m.f_max_hz(64, 0.7) > m.f_max_hz(256, 0.7));
+        assert!(m.f_max_hz(256, 0.7) > m.f_max_hz(1024, 0.7));
+    }
+
+    #[test]
+    fn required_vdd_none_when_unreachable() {
+        let m = DelayModel::catnap_32nm();
+        assert!(m.required_vdd(4096, 10.0e9).is_none());
+    }
+
+    #[test]
+    fn below_threshold_no_drive() {
+        let m = DelayModel::catnap_32nm();
+        assert_eq!(m.f_max_hz(128, 0.3), 0.0);
+    }
+
+    #[test]
+    fn table2_shape() {
+        let t = DelayModel::catnap_32nm().table2();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].width_bits, 512);
+        assert_eq!(t[3].width_bits, 128);
+        assert!((t[3].freq_ghz - 2.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,205 @@
+//! Synthetic destination patterns.
+
+use catnap_noc::{MeshDims, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A synthetic traffic pattern: maps a source node to a destination.
+///
+/// The paper evaluates uniform random, transpose and bit complement
+/// (Section 4.1); tornado, hotspot and neighbour exchange are provided for
+/// additional stress tests.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum SyntheticPattern {
+    /// Destination drawn uniformly from all other nodes.
+    UniformRandom,
+    /// Node `(x, y)` sends to `(y, x)` (adversarial for X-Y routing).
+    Transpose,
+    /// Node `i` sends to `!i` within the node-index bit width.
+    BitComplement,
+    /// Node `(x, y)` sends half-way around the X dimension.
+    Tornado,
+    /// With probability `hot_fraction`, send to the hotspot node;
+    /// otherwise uniform random. The fraction is in per-mille to keep the
+    /// type `Copy + Eq`-friendly.
+    HotSpot {
+        /// Hotspot destination.
+        hotspot: NodeId,
+        /// Probability (per mille) of targeting the hotspot.
+        per_mille: u16,
+    },
+    /// Node sends to its east neighbour (wraps around).
+    NeighborExchange,
+}
+
+impl SyntheticPattern {
+    /// Picks the destination for a packet from `src`. Returns `None` when
+    /// the pattern maps the node to itself (such nodes do not inject,
+    /// e.g. the diagonal under transpose).
+    pub fn destination<R: Rng + ?Sized>(self, src: NodeId, dims: MeshDims, rng: &mut R) -> Option<NodeId> {
+        let n = dims.num_nodes();
+        let dst = match self {
+            SyntheticPattern::UniformRandom => {
+                let mut d = NodeId(rng.gen_range(0..n as u16));
+                // Re-draw self-destinations (uniform over the other n-1).
+                while d == src {
+                    d = NodeId(rng.gen_range(0..n as u16));
+                }
+                d
+            }
+            SyntheticPattern::Transpose => {
+                let (x, y) = dims.coords(src);
+                if y >= dims.cols || x >= dims.rows {
+                    // Non-square meshes: fold back in.
+                    NodeId(((src.0 as usize + n / 2) % n) as u16)
+                } else {
+                    dims.node_at(y, x)
+                }
+            }
+            SyntheticPattern::BitComplement => {
+                assert!(n.is_power_of_two(), "bit complement requires a power-of-two node count");
+                NodeId((!src.0) & (n as u16 - 1))
+            }
+            SyntheticPattern::Tornado => {
+                let (x, y) = dims.coords(src);
+                let shift = (dims.cols / 2).saturating_sub(if dims.cols.is_multiple_of(2) { 1 } else { 0 }).max(1);
+                dims.node_at((x + shift) % dims.cols, y)
+            }
+            SyntheticPattern::HotSpot { hotspot, per_mille } => {
+                if rng.gen_range(0..1000) < per_mille {
+                    hotspot
+                } else {
+                    NodeId(rng.gen_range(0..n as u16))
+                }
+            }
+            SyntheticPattern::NeighborExchange => {
+                let (x, y) = dims.coords(src);
+                dims.node_at((x + 1) % dims.cols, y)
+            }
+        };
+        (dst != src).then_some(dst)
+    }
+
+    /// Short name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyntheticPattern::UniformRandom => "uniform-random",
+            SyntheticPattern::Transpose => "transpose",
+            SyntheticPattern::BitComplement => "bit-complement",
+            SyntheticPattern::Tornado => "tornado",
+            SyntheticPattern::HotSpot { .. } => "hotspot",
+            SyntheticPattern::NeighborExchange => "neighbor",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh8() -> MeshDims {
+        MeshDims::new(8, 8)
+    }
+
+    #[test]
+    fn uniform_never_self() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..64u16 {
+            for _ in 0..20 {
+                let d = SyntheticPattern::UniformRandom
+                    .destination(NodeId(i), mesh8(), &mut rng)
+                    .unwrap();
+                assert_ne!(d, NodeId(i));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 64];
+        for _ in 0..4000 {
+            let d = SyntheticPattern::UniformRandom
+                .destination(NodeId(0), mesh8(), &mut rng)
+                .unwrap();
+            seen[d.index()] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 63);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dims = mesh8();
+        let src = dims.node_at(2, 5);
+        let d = SyntheticPattern::Transpose.destination(src, dims, &mut rng).unwrap();
+        assert_eq!(dims.coords(d), (5, 2));
+        // Diagonal nodes do not inject.
+        assert_eq!(
+            SyntheticPattern::Transpose.destination(dims.node_at(3, 3), dims, &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn bit_complement_is_involutive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dims = mesh8();
+        for i in 0..64u16 {
+            let d = SyntheticPattern::BitComplement
+                .destination(NodeId(i), dims, &mut rng)
+                .expect("bit complement never maps to self on 64 nodes");
+            let back = SyntheticPattern::BitComplement.destination(d, dims, &mut rng).unwrap();
+            assert_eq!(back, NodeId(i));
+        }
+    }
+
+    #[test]
+    fn tornado_shifts_half_ring() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dims = mesh8();
+        let d = SyntheticPattern::Tornado
+            .destination(dims.node_at(0, 2), dims, &mut rng)
+            .unwrap();
+        assert_eq!(dims.coords(d).1, 2, "tornado stays in its row");
+        assert_eq!(dims.coords(d).0, 3);
+    }
+
+    #[test]
+    fn hotspot_bias() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dims = mesh8();
+        let hs = NodeId(27);
+        let pat = SyntheticPattern::HotSpot {
+            hotspot: hs,
+            per_mille: 500,
+        };
+        let mut hits = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            if pat.destination(NodeId(0), dims, &mut rng) == Some(hs) {
+                hits += 1;
+            }
+        }
+        assert!(hits > trials / 3, "hotspot should attract ~half the traffic, got {hits}");
+    }
+
+    #[test]
+    fn neighbor_exchange_wraps() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dims = mesh8();
+        let d = SyntheticPattern::NeighborExchange
+            .destination(dims.node_at(7, 0), dims, &mut rng)
+            .unwrap();
+        assert_eq!(dims.coords(d), (0, 0));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SyntheticPattern::UniformRandom.name(), "uniform-random");
+        assert_eq!(SyntheticPattern::Transpose.name(), "transpose");
+        assert_eq!(SyntheticPattern::BitComplement.name(), "bit-complement");
+    }
+}

@@ -1,0 +1,120 @@
+//! Time-varying offered-load schedules for bursty-traffic experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant offered-load schedule: the injection rate
+/// (packets per node per cycle) as a function of the simulation cycle.
+///
+/// The paper's Figure 12 uses a base load of 0.01 with a burst to 0.30
+/// during cycles 1000-1500 and a second burst to 0.10 during cycles
+/// 2000-2500; see [`LoadSchedule::fig12_bursts`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadSchedule {
+    /// `(from_cycle, rate)` segments, sorted by cycle; each rate applies
+    /// from its cycle until the next segment.
+    segments: Vec<(u64, f64)>,
+}
+
+impl LoadSchedule {
+    /// A constant offered load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative.
+    pub fn constant(rate: f64) -> Self {
+        assert!(rate >= 0.0, "offered load must be non-negative");
+        LoadSchedule {
+            segments: vec![(0, rate)],
+        }
+    }
+
+    /// Builds a schedule from `(from_cycle, rate)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty, not sorted by cycle, does not start at
+    /// cycle 0, or contains a negative rate.
+    pub fn piecewise(segments: Vec<(u64, f64)>) -> Self {
+        assert!(!segments.is_empty(), "schedule needs at least one segment");
+        assert_eq!(segments[0].0, 0, "schedule must start at cycle 0");
+        for w in segments.windows(2) {
+            assert!(w[0].0 < w[1].0, "segments must be strictly increasing in cycle");
+        }
+        assert!(segments.iter().all(|&(_, r)| r >= 0.0), "rates must be non-negative");
+        LoadSchedule { segments }
+    }
+
+    /// The paper's Figure-12 bursty schedule: base 0.01, burst to 0.30 at
+    /// cycles 1000-1500, second burst to 0.10 at cycles 2000-2500.
+    pub fn fig12_bursts() -> Self {
+        LoadSchedule::piecewise(vec![
+            (0, 0.01),
+            (1000, 0.30),
+            (1500, 0.01),
+            (2000, 0.10),
+            (2500, 0.01),
+        ])
+    }
+
+    /// Offered load at a given cycle.
+    pub fn rate_at(&self, cycle: u64) -> f64 {
+        let mut rate = self.segments[0].1;
+        for &(from, r) in &self.segments {
+            if cycle >= from {
+                rate = r;
+            } else {
+                break;
+            }
+        }
+        rate
+    }
+
+    /// Maximum rate anywhere in the schedule.
+    pub fn peak_rate(&self) -> f64 {
+        self.segments.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule() {
+        let s = LoadSchedule::constant(0.07);
+        assert_eq!(s.rate_at(0), 0.07);
+        assert_eq!(s.rate_at(1_000_000), 0.07);
+        assert_eq!(s.peak_rate(), 0.07);
+    }
+
+    #[test]
+    fn fig12_shape() {
+        let s = LoadSchedule::fig12_bursts();
+        assert_eq!(s.rate_at(0), 0.01);
+        assert_eq!(s.rate_at(999), 0.01);
+        assert_eq!(s.rate_at(1000), 0.30);
+        assert_eq!(s.rate_at(1499), 0.30);
+        assert_eq!(s.rate_at(1500), 0.01);
+        assert_eq!(s.rate_at(2100), 0.10);
+        assert_eq!(s.rate_at(3000), 0.01);
+        assert_eq!(s.peak_rate(), 0.30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_segments_panic() {
+        LoadSchedule::piecewise(vec![(0, 0.1), (100, 0.2), (50, 0.3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn must_start_at_zero() {
+        LoadSchedule::piecewise(vec![(10, 0.1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rate_panics() {
+        LoadSchedule::constant(-0.1);
+    }
+}

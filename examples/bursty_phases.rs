@@ -1,0 +1,69 @@
+//! Bursty traffic demo (the paper's Figure 12 scenario, live): offered
+//! load jumps from 0.01 to 0.30 packets/node/cycle and back; watch
+//! Catnap open higher-order subnets during the burst and gate them again
+//! afterwards.
+//!
+//! Run with: `cargo run --release --example bursty_phases`
+
+use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
+use catnap_repro::traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload};
+
+fn main() {
+    let cfg = MultiNocConfig::catnap_4x128().gating(true);
+    let mut net = MultiNoc::new(cfg);
+    let schedule = LoadSchedule::fig12_bursts();
+    let mut load = SyntheticWorkload::with_schedule(
+        SyntheticPattern::UniformRandom,
+        schedule.clone(),
+        512,
+        net.dims(),
+        7,
+    );
+
+    println!(
+        "{:>6} {:>8} {:>9} {:>9} {:>26} {:>22}",
+        "cycle", "offered", "accepted", "latency", "subnet flit share (0/1/2/3)", "routers on/sleep/wake"
+    );
+    let mut prev = net.snapshot();
+    let window = 100u64;
+    for tick in 0..32 {
+        for _ in 0..window {
+            load.drive(&mut net);
+            net.step();
+        }
+        let snap = net.snapshot();
+        let d = snap.delta(&prev);
+        prev = snap;
+        let nodes = net.dims().num_nodes() as f64;
+        let accepted = d.delivered_packets as f64 / (window as f64 * nodes);
+        let inj_total: u64 = d.injected_flits_per_subnet.iter().sum();
+        let shares: Vec<String> = d
+            .injected_flits_per_subnet
+            .iter()
+            .map(|&f| {
+                if inj_total == 0 {
+                    " -".to_string()
+                } else {
+                    format!("{:>3.0}%", 100.0 * f as f64 / inj_total as f64)
+                }
+            })
+            .collect();
+        let (on, sleep, wake) = net.power_state_census();
+        println!(
+            "{:>6} {:>8.3} {:>9.3} {:>8.1} {:>26} {:>14}",
+            (tick + 1) * window,
+            schedule.rate_at(tick * window + window / 2),
+            accepted,
+            d.avg_latency(),
+            shares.join(" "),
+            format!("{on:>3}/{sleep:>3}/{wake:>2}")
+        );
+    }
+    let report = net.finish();
+    println!(
+        "\ndelivered {} packets, CSC {:.0}%, {} sleep transitions",
+        report.packets_delivered,
+        report.csc_fraction * 100.0,
+        report.sleep_transitions
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build the paper's 4-subnet Catnap network, run uniform
+//! random traffic at low load, and print latency, power and the
+//! compensated-sleep-cycle fraction next to the ungated Single-NoC
+//! baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
+use catnap_repro::power::TechParams;
+use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload};
+
+fn run(cfg: MultiNocConfig, rate: f64, cycles: u64) -> (String, f64, f64, f64, f64) {
+    let name = cfg.name.clone();
+    let mut net = MultiNoc::new(cfg);
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, rate, 512, net.dims(), 42);
+    for _ in 0..cycles {
+        load.drive(&mut net);
+        net.step();
+    }
+    let power = net.power_report(TechParams::catnap_32nm());
+    let report = net.finish();
+    (
+        name,
+        report.avg_packet_latency,
+        power.dynamic.total(),
+        power.static_.total(),
+        report.csc_fraction,
+    )
+}
+
+fn main() {
+    let rate = 0.03; // packets/node/cycle — a light load
+    let cycles = 20_000;
+    println!("Uniform random traffic, {rate} packets/node/cycle, {cycles} cycles\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "design", "latency(cy)", "dynamic(W)", "static(W)", "total(W)", "CSC%"
+    );
+    for cfg in [
+        MultiNocConfig::single_noc_512b(),
+        MultiNocConfig::single_noc_512b().gating(true),
+        MultiNocConfig::catnap_4x128(),
+        MultiNocConfig::catnap_4x128().gating(true),
+    ] {
+        let (name, lat, dyn_w, stat_w, csc) = run(cfg, rate, cycles);
+        println!(
+            "{:<16} {:>12.1} {:>12.2} {:>12.2} {:>10.2} {:>7.1}%",
+            name,
+            lat,
+            dyn_w,
+            stat_w,
+            dyn_w + stat_w,
+            csc * 100.0
+        );
+    }
+    println!(
+        "\nThe Catnap Multi-NoC with power gating (4NT-128b-PG) should show a\n\
+         large static-power reduction and a high CSC fraction at this load,\n\
+         while the gated Single-NoC saves almost nothing."
+    );
+}

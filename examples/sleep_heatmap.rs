@@ -1,0 +1,67 @@
+//! ASCII heatmap of router power states over time: watch the Catnap
+//! Multi-NoC breathe as load changes. Each frame shows the four subnets
+//! side by side; `#` = active, `.` = asleep, `~` = waking.
+//!
+//! Run with: `cargo run --release --example sleep_heatmap`
+
+use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
+use catnap_repro::noc::PowerState;
+use catnap_repro::traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload};
+
+fn frame(net: &MultiNoc) -> String {
+    let dims = net.dims();
+    let mut out = String::new();
+    for y in 0..dims.rows {
+        for s in 0..net.num_subnets() {
+            for x in 0..dims.cols {
+                let node = dims.node_at(x, y);
+                let c = match net.subnet(s).power_state(node) {
+                    PowerState::Active => '#',
+                    PowerState::Sleep => '.',
+                    PowerState::WakeUp { .. } => '~',
+                };
+                out.push(c);
+            }
+            out.push_str("   ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    let schedule = LoadSchedule::piecewise(vec![
+        (0, 0.01),
+        (1_200, 0.30),
+        (2_400, 0.08),
+        (3_600, 0.01),
+    ]);
+    let mut load = SyntheticWorkload::with_schedule(
+        SyntheticPattern::UniformRandom,
+        schedule.clone(),
+        512,
+        net.dims(),
+        3,
+    );
+    println!("subnet:     0          1          2          3     (# active, . asleep, ~ waking)\n");
+    for step in 0..8 {
+        for _ in 0..600 {
+            load.drive(&mut net);
+            net.step();
+        }
+        let (active, asleep, waking) = net.power_state_census();
+        println!(
+            "cycle {:>5}  offered {:.2}  ({active} active / {asleep} asleep / {waking} waking)",
+            (step + 1) * 600,
+            schedule.rate_at(step * 600 + 300),
+        );
+        println!("{}", frame(&net));
+    }
+    let report = net.finish();
+    println!(
+        "CSC {:.0}% over the whole run, {} sleep transitions",
+        report.csc_fraction * 100.0,
+        report.sleep_transitions
+    );
+}

@@ -1,0 +1,80 @@
+//! Reproducibility: identical seeds give identical simulations, for both
+//! open-loop synthetic runs and the closed-loop multicore system.
+
+use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
+use catnap_repro::multicore::{System, SystemConfig};
+use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
+
+fn synthetic_fingerprint(seed: u64) -> (u64, u64, u64, String) {
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true).seed(seed));
+    let mut load = SyntheticWorkload::new(SyntheticPattern::Transpose, 0.12, 512, net.dims(), seed);
+    for _ in 0..3_000 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let snap = net.snapshot();
+    let report = net.finish();
+    (
+        report.packets_delivered,
+        snap.latency_sum,
+        snap.or_switch_events,
+        format!("{:?}", snap.injected_flits_per_subnet),
+    )
+}
+
+#[test]
+fn synthetic_runs_reproducible() {
+    assert_eq!(synthetic_fingerprint(11), synthetic_fingerprint(11));
+}
+
+#[test]
+fn synthetic_runs_differ_across_seeds() {
+    assert_ne!(synthetic_fingerprint(11), synthetic_fingerprint(12));
+}
+
+fn system_fingerprint(seed: u64) -> (u64, u64, u64) {
+    let mut sys = System::new(
+        SystemConfig::paper(),
+        MultiNocConfig::catnap_4x128().gating(true),
+        WorkloadMix::MediumHeavy,
+        seed,
+    );
+    sys.run(2_000);
+    let rep = sys.report();
+    (rep.total_instructions, rep.misses_issued, rep.network.packets_generated)
+}
+
+#[test]
+fn closed_loop_runs_reproducible() {
+    assert_eq!(system_fingerprint(33), system_fingerprint(33));
+}
+
+#[test]
+fn closed_loop_runs_differ_across_seeds() {
+    assert_ne!(system_fingerprint(33), system_fingerprint(34));
+}
+
+#[test]
+fn snapshot_deltas_are_consistent_with_totals() {
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128());
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.1, 512, net.dims(), 44);
+    let mut mids = Vec::new();
+    for i in 0..4_000 {
+        load.drive(&mut net);
+        net.step();
+        if i % 1_000 == 999 {
+            mids.push(net.snapshot());
+        }
+    }
+    let total = net.snapshot();
+    // Sum of window deltas equals the overall delta.
+    let zero = catnap_repro::catnap::Snapshot::zero(4);
+    let overall = total.delta(&zero);
+    let mut acc = 0u64;
+    let mut prev = zero;
+    for m in mids.iter().chain(std::iter::once(&total)) {
+        acc += m.delta(&prev).delivered_packets;
+        prev = m.clone();
+    }
+    assert_eq!(acc, overall.delivered_packets);
+}

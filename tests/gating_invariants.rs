@@ -1,0 +1,161 @@
+//! Power-gating correctness invariants: gating may slow packets down but
+//! must never lose, duplicate, or corrupt them; accounting identities
+//! hold; subnet 0 is never gated under the Catnap policy.
+
+use catnap_repro::catnap::{GatingPolicy, MultiNoc, MultiNocConfig};
+use catnap_repro::traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload};
+
+#[test]
+fn subnet_zero_never_sleeps_under_catnap() {
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    assert_eq!(net.config().gating_policy, GatingPolicy::CatnapRcs);
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.02, 512, net.dims(), 1);
+    for _ in 0..4_000 {
+        load.drive(&mut net);
+        net.step();
+        for node in net.dims().nodes() {
+            assert!(
+                !net.subnet(0).power_state(node).is_sleeping(),
+                "subnet 0 router {node} must never be asleep"
+            );
+        }
+    }
+    // Higher subnets do sleep at this load.
+    let (_, sleeping, _) = net.power_state_census();
+    assert!(sleeping > 100, "higher-order subnets should be mostly asleep, got {sleeping}");
+}
+
+#[test]
+fn gating_disabled_means_everyone_active_forever() {
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128());
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.05, 512, net.dims(), 2);
+    for _ in 0..2_000 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let (active, sleeping, waking) = net.power_state_census();
+    assert_eq!(active, 4 * 64);
+    assert_eq!((sleeping, waking), (0, 0));
+    let report = net.finish();
+    assert_eq!(report.csc_fraction, 0.0);
+    assert_eq!(report.sleep_transitions, 0);
+}
+
+#[test]
+fn residency_partitions_time() {
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.04, 512, net.dims(), 3);
+    for _ in 0..3_000 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let snap = net.snapshot();
+    for (s, g) in snap.gating_per_subnet.iter().enumerate() {
+        let total = g.active_cycles + g.sleep_cycles + g.wakeup_cycles;
+        assert_eq!(
+            total,
+            64 * snap.cycle,
+            "subnet {s}: residency must partition router-cycles"
+        );
+        assert!(
+            g.compensated_sleep_cycles <= g.sleep_cycles,
+            "subnet {s}: CSC cannot exceed raw sleep cycles"
+        );
+    }
+}
+
+#[test]
+fn csc_fraction_bounded() {
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.01, 512, net.dims(), 4);
+    for _ in 0..5_000 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let report = net.finish();
+    assert!(report.csc_fraction > 0.5, "very low load must gate heavily");
+    assert!(report.csc_fraction <= 0.75 + 1e-9, "subnet 0 always on bounds CSC at 75%");
+}
+
+#[test]
+fn finish_is_stable_with_power_report() {
+    // finalize() (via finish) and compensated_at (via power_report) must
+    // agree and not double-count open sleep periods.
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.02, 512, net.dims(), 5);
+    for _ in 0..4_000 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let power_before = net.power_report(catnap_repro::power::TechParams::catnap_32nm());
+    let report = net.finish();
+    let power_after = net.power_report(catnap_repro::power::TechParams::catnap_32nm());
+    assert!((power_before.csc_fraction - report.csc_fraction).abs() < 0.02);
+    assert!((power_after.csc_fraction - report.csc_fraction).abs() < 0.02);
+    assert!(report.csc_fraction <= 0.75 + 1e-9);
+}
+
+#[test]
+fn burst_after_deep_sleep_is_fully_absorbed() {
+    // All higher subnets asleep, then a sudden saturation burst: no
+    // packets may be lost and throughput must ramp.
+    let schedule = LoadSchedule::piecewise(vec![(0, 0.005), (2_000, 0.35), (3_000, 0.005)]);
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    let mut load =
+        SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule, 512, net.dims(), 6);
+    for _ in 0..3_000 {
+        load.drive(&mut net);
+        net.step();
+    }
+    for _ in 0..200_000 {
+        if net.packets_outstanding() == 0 {
+            break;
+        }
+        net.step();
+    }
+    let report = net.finish();
+    assert_eq!(report.packets_generated, report.packets_delivered);
+    assert!(report.sleep_transitions > 0);
+}
+
+#[test]
+fn wakeup_costs_show_up_in_latency_not_loss() {
+    let gated = {
+        let mut net = MultiNoc::new(MultiNocConfig::single_noc_512b().gating(true));
+        let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.01, 512, net.dims(), 7);
+        for _ in 0..6_000 {
+            load.drive(&mut net);
+            net.step();
+        }
+        for _ in 0..100_000 {
+            if net.packets_outstanding() == 0 {
+                break;
+            }
+            net.step();
+        }
+        net.finish()
+    };
+    let ungated = {
+        let mut net = MultiNoc::new(MultiNocConfig::single_noc_512b());
+        let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.01, 512, net.dims(), 7);
+        for _ in 0..6_000 {
+            load.drive(&mut net);
+            net.step();
+        }
+        for _ in 0..100_000 {
+            if net.packets_outstanding() == 0 {
+                break;
+            }
+            net.step();
+        }
+        net.finish()
+    };
+    assert_eq!(gated.packets_generated, gated.packets_delivered);
+    assert_eq!(gated.packets_generated, ungated.packets_generated, "same seed, same offered traffic");
+    assert!(
+        gated.avg_packet_latency > ungated.avg_packet_latency + 5.0,
+        "Single-NoC gating at low load must cost latency ({} vs {})",
+        gated.avg_packet_latency,
+        ungated.avg_packet_latency
+    );
+}

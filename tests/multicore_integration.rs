@@ -1,0 +1,108 @@
+//! Integration tests of the closed-loop multicore substrate against the
+//! full network stack, including cross-validation of the probabilistic
+//! and cache-accurate modes.
+
+use catnap_repro::catnap::MultiNocConfig;
+use catnap_repro::multicore::{CacheSystem, CacheWorkload, System, SystemConfig};
+use catnap_repro::traffic::WorkloadMix;
+
+#[test]
+fn probabilistic_mode_mixes_rank_by_intensity() {
+    let ipc_of = |mix| {
+        let mut sys = System::new(SystemConfig::paper(), MultiNocConfig::single_noc_512b(), mix, 3);
+        sys.run(4_000);
+        sys.report().ipc
+    };
+    let light = ipc_of(WorkloadMix::Light);
+    let heavy = ipc_of(WorkloadMix::Heavy);
+    assert!(light > 1.5 * heavy, "Light {light} must far outrun Heavy {heavy}");
+}
+
+#[test]
+fn both_modes_agree_gating_helps_multi_but_not_single() {
+    // Probabilistic mode.
+    let power_of = |cfg: MultiNocConfig| {
+        let mut sys = System::new(SystemConfig::paper(), cfg, WorkloadMix::Light, 3);
+        sys.run(5_000);
+        sys.net.power_report(catnap_repro::power::TechParams::catnap_32nm()).total()
+    };
+    let single = power_of(MultiNocConfig::single_noc_512b().gating(true));
+    let multi = power_of(MultiNocConfig::catnap_4x128().gating(true));
+    assert!(
+        multi < 0.6 * single,
+        "probabilistic mode: gated Multi-NoC {multi:.1} W must be well below gated Single-NoC {single:.1} W"
+    );
+
+    // Cache-accurate mode reaches the same conclusion.
+    let cache_power_of = |cfg: MultiNocConfig| {
+        let mut sys = CacheSystem::new(SystemConfig::paper(), cfg, CacheWorkload::light(), 3);
+        sys.warm(1_500);
+        sys.run(5_000);
+        sys.net.power_report(catnap_repro::power::TechParams::catnap_32nm()).total()
+    };
+    let csingle = cache_power_of(MultiNocConfig::single_noc_512b().gating(true));
+    let cmulti = cache_power_of(MultiNocConfig::catnap_4x128().gating(true));
+    assert!(
+        cmulti < 0.7 * csingle,
+        "cache mode: gated Multi-NoC {cmulti:.1} W vs gated Single-NoC {csingle:.1} W"
+    );
+}
+
+#[test]
+fn cache_mode_protocol_traffic_shape() {
+    let mut sys = CacheSystem::new(
+        SystemConfig::paper(),
+        MultiNocConfig::single_noc_512b(),
+        CacheWorkload::heavy(),
+        7,
+    );
+    sys.warm(1_500);
+    sys.run(4_000);
+    assert!(sys.directories_consistent());
+    let rep = sys.report();
+    // Heavy working sets must produce real memory traffic and writebacks.
+    assert!(rep.tx_kinds[2] > 100, "memory fetches: {:?}", rep.tx_kinds);
+    assert!(rep.tx_kinds[4] > 50, "writebacks: {:?}", rep.tx_kinds);
+    assert!(rep.misses_completed > 0);
+    // The network must have carried both control and data packets:
+    // average flits per packet strictly between the two sizes.
+    let flits_per_packet =
+        rep.network.accepted_flits_per_node_cycle / rep.network.accepted_packets_per_node_cycle;
+    assert!(
+        flits_per_packet > 1.05 && flits_per_packet < 2.0,
+        "512-bit subnets: ctrl=1 flit, data=2 flits, mix gives {flits_per_packet:.2}"
+    );
+}
+
+#[test]
+fn miss_latency_includes_memory_for_l2_misses() {
+    let mut sys = System::new(
+        SystemConfig::paper(),
+        MultiNocConfig::single_noc_512b(),
+        WorkloadMix::Heavy,
+        11,
+    );
+    sys.run(4_000);
+    let rep = sys.report();
+    // Heavy's l2_miss_ratio ~0.6: average miss latency must reflect the
+    // 80-cycle DRAM plus multiple network traversals.
+    assert!(
+        rep.avg_miss_latency > 60.0,
+        "Heavy avg miss latency {:.1} too small for memory-bound traffic",
+        rep.avg_miss_latency
+    );
+}
+
+#[test]
+fn ipc_bounded_by_commit_width() {
+    let mut sys = System::new(
+        SystemConfig::paper(),
+        MultiNocConfig::single_noc_512b(),
+        WorkloadMix::Light,
+        13,
+    );
+    sys.run(2_000);
+    let rep = sys.report();
+    assert!(rep.ipc <= 2.0 * 256.0 + 1e-9);
+    assert!(rep.ipc > 0.5 * 256.0, "Light should run near full speed, got {}", rep.ipc);
+}

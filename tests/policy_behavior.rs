@@ -1,0 +1,135 @@
+//! Behavioural tests of the Catnap policies: strict-priority selection
+//! escalates under load and decays after it, round-robin spreads load,
+//! and the regional OR network actually propagates congestion.
+
+use catnap_repro::catnap::{MultiNoc, MultiNocConfig, SelectorKind};
+use catnap_repro::noc::NodeId;
+use catnap_repro::traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload};
+
+fn utilization(cfg: MultiNocConfig, rate: f64, cycles: u64) -> Vec<f64> {
+    let mut net = MultiNoc::new(cfg);
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, rate, 512, net.dims(), 21);
+    for _ in 0..cycles {
+        load.drive(&mut net);
+        net.step();
+    }
+    net.finish().subnet_utilization
+}
+
+#[test]
+fn catnap_concentrates_low_load_on_subnet_zero() {
+    let u = utilization(MultiNocConfig::catnap_4x128(), 0.02, 5_000);
+    assert!(u[0] > 0.95, "subnet 0 must carry nearly everything: {u:?}");
+    assert!(u[2] + u[3] < 0.02, "higher subnets nearly unused: {u:?}");
+}
+
+#[test]
+fn catnap_spreads_high_load_over_all_subnets() {
+    let u = utilization(MultiNocConfig::catnap_4x128(), 0.40, 5_000);
+    for (s, &share) in u.iter().enumerate() {
+        assert!(
+            share > 0.10,
+            "at saturation every subnet must carry real load; subnet {s}: {u:?}"
+        );
+    }
+}
+
+#[test]
+fn round_robin_spreads_even_at_low_load() {
+    let u = utilization(
+        MultiNocConfig::catnap_4x128().selector(SelectorKind::RoundRobin),
+        0.02,
+        5_000,
+    );
+    for &share in &u {
+        assert!((share - 0.25).abs() < 0.05, "RR must balance: {u:?}");
+    }
+}
+
+#[test]
+fn random_selector_spreads_too() {
+    let u = utilization(
+        MultiNocConfig::catnap_4x128().selector(SelectorKind::Random),
+        0.02,
+        5_000,
+    );
+    for &share in &u {
+        assert!((share - 0.25).abs() < 0.08, "random should roughly balance: {u:?}");
+    }
+}
+
+#[test]
+fn utilization_decays_after_burst() {
+    let schedule = LoadSchedule::piecewise(vec![(0, 0.01), (1_000, 0.30), (1_500, 0.01)]);
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    let mut load =
+        SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule, 512, net.dims(), 22);
+    // Through the burst.
+    for _ in 0..1_500 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let during = net.snapshot();
+    let burst_inj: u64 = during.injected_flits_per_subnet[1..].iter().sum();
+    assert!(burst_inj > 0, "burst must use higher subnets");
+    // Long after the burst.
+    for _ in 0..2_500 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let after = net.snapshot().delta(&during);
+    let tail_window: u64 = after.injected_flits_per_subnet[1..].iter().sum();
+    let tail_total: u64 = after.injected_flits_per_subnet.iter().sum();
+    assert!(
+        (tail_window as f64) < 0.25 * tail_total as f64,
+        "after the burst, traffic must fall back to subnet 0: {:?}",
+        after.injected_flits_per_subnet
+    );
+    // And the higher-order subnets are asleep again.
+    let (_, sleeping, _) = net.power_state_census();
+    assert!(sleeping > 120, "higher subnets should re-gate, {sleeping} asleep");
+}
+
+#[test]
+fn rcs_propagates_congestion_across_region() {
+    // Saturating hotspot traffic towards one corner congests routers
+    // near it; nodes in the same region must see RCS even if their local
+    // router is fine.
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128());
+    let hotspot = NodeId(0);
+    let mut load = SyntheticWorkload::new(
+        SyntheticPattern::HotSpot {
+            hotspot,
+            per_mille: 900,
+        },
+        0.30,
+        512,
+        net.dims(),
+        23,
+    );
+    for _ in 0..3_000 {
+        load.drive(&mut net);
+        net.step();
+    }
+    // Some node in region 0 other than the hotspot sees the regional bit
+    // for subnet 0.
+    let seen = net.dims().nodes().filter(|&n| net.rcs(0, n)).count();
+    assert!(seen >= 16, "hotspot congestion must raise RCS for whole regions, saw {seen}");
+}
+
+#[test]
+fn congestion_view_combines_local_and_regional() {
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128());
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.5, 512, net.dims(), 24);
+    for _ in 0..2_000 {
+        load.drive(&mut net);
+        net.step();
+    }
+    // At saturation, subnet 0 must look congested nearly everywhere.
+    let congested = net
+        .dims()
+        .nodes()
+        .filter(|&n| net.congestion_view(0, n))
+        .count();
+    assert!(congested > 48, "saturated subnet 0 congested at most nodes, got {congested}");
+}

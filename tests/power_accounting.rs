@@ -1,0 +1,134 @@
+//! Cross-checks of the power accounting against simulated activity:
+//! identities that must hold regardless of calibration constants.
+
+use catnap_repro::catnap::{GatingPolicy, MultiNoc, MultiNocConfig};
+use catnap_repro::power::TechParams;
+use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload};
+
+fn run(cfg: MultiNocConfig, rate: f64, cycles: u64) -> (MultiNoc, SyntheticWorkload) {
+    let mut net = MultiNoc::new(cfg);
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, rate, 512, net.dims(), 31);
+    for _ in 0..cycles {
+        load.drive(&mut net);
+        net.step();
+    }
+    (net, load)
+}
+
+#[test]
+fn gating_never_increases_static_power() {
+    let tech = TechParams::catnap_32nm();
+    for rate in [0.01, 0.05, 0.15, 0.30] {
+        let (on, _) = run(MultiNocConfig::catnap_4x128().gating(true), rate, 3_000);
+        let (off, _) = run(MultiNocConfig::catnap_4x128(), rate, 3_000);
+        let p_on = on.power_report(tech);
+        let p_off = off.power_report(tech);
+        assert!(
+            p_on.static_.total() <= p_off.static_.total() + 1e-9,
+            "rate {rate}: gated static {} > ungated {}",
+            p_on.static_.total(),
+            p_off.static_.total()
+        );
+    }
+}
+
+#[test]
+fn ungated_static_is_constant_across_load() {
+    let tech = TechParams::catnap_32nm();
+    let (a, _) = run(MultiNocConfig::single_noc_512b(), 0.02, 2_000);
+    let (b, _) = run(MultiNocConfig::single_noc_512b(), 0.30, 2_000);
+    let sa = a.power_report(tech).static_.total();
+    let sb = b.power_report(tech).static_.total();
+    assert!((sa - sb).abs() < 0.01, "{sa} vs {sb}");
+}
+
+#[test]
+fn dynamic_power_tracks_delivered_traffic() {
+    let tech = TechParams::catnap_32nm();
+    let (lo, _) = run(MultiNocConfig::single_noc_512b(), 0.05, 3_000);
+    let (hi, _) = run(MultiNocConfig::single_noc_512b(), 0.25, 3_000);
+    let dl = lo.power_report(tech).dynamic;
+    let dh = hi.power_report(tech).dynamic;
+    // Load-dependent components scale ~5x with a 5x load increase.
+    for (name, l, h) in [
+        ("buffer", dl.buffer, dh.buffer),
+        ("crossbar", dl.crossbar, dh.crossbar),
+        ("link", dl.link, dh.link),
+        ("ni", dl.ni, dh.ni),
+    ] {
+        let ratio = h / l;
+        assert!(
+            ratio > 3.5 && ratio < 6.5,
+            "{name}: 5x load gave {ratio:.2}x power"
+        );
+    }
+    // Clock is load-independent when nothing gates.
+    assert!((dh.clock / dl.clock - 1.0).abs() < 0.01);
+}
+
+#[test]
+fn voltage_scaled_multi_noc_beats_single_on_dynamic_per_bit() {
+    let tech = TechParams::catnap_32nm();
+    let (single, _) = run(MultiNocConfig::single_noc_512b(), 0.2, 3_000);
+    let (multi, _) = run(MultiNocConfig::catnap_4x128(), 0.2, 3_000);
+    let ds = single.power_report(tech).dynamic;
+    let dm = multi.power_report(tech).dynamic;
+    // Same offered bits; Multi-NoC moves them at 0.625V with 4x narrower
+    // crossbars: crossbar dynamic must be several times lower.
+    assert!(
+        dm.crossbar < 0.45 * ds.crossbar,
+        "multi crossbar {:.2} vs single {:.2}",
+        dm.crossbar,
+        ds.crossbar
+    );
+    assert!(dm.total() < ds.total());
+}
+
+#[test]
+fn port_gated_static_between_ungated_and_router_gated_bounds() {
+    // Per-port gating can only gate buffers+links: its static power must
+    // be at least crossbar+control+clock+NI leakage, and at most the
+    // ungated total.
+    let tech = TechParams::catnap_32nm();
+    let (off, _) = run(MultiNocConfig::single_noc_512b(), 0.01, 3_000);
+    let (port, _) = run(
+        MultiNocConfig::single_noc_512b()
+            .gating_policy(GatingPolicy::LocalIdlePort)
+            .named("ppg"),
+        0.01,
+        3_000,
+    );
+    let s_off = off.power_report(tech).static_;
+    let s_port = port.power_report(tech).static_;
+    assert!(s_port.total() < s_off.total(), "port gating must save something at low load");
+    let floor = s_off.crossbar + s_off.control + s_off.clock + s_off.ni;
+    assert!(
+        s_port.total() >= floor - 1e-9,
+        "port gating cannot gate crossbar/control/clock/NI: {} < floor {}",
+        s_port.total(),
+        floor
+    );
+}
+
+#[test]
+fn or_network_energy_is_charged_when_rcs_switches() {
+    let tech = TechParams::catnap_32nm();
+    // Bursty-ish load makes the RCS bits toggle.
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    let mut load = SyntheticWorkload::with_schedule(
+        SyntheticPattern::UniformRandom,
+        catnap_repro::traffic::LoadSchedule::piecewise(vec![(0, 0.01), (500, 0.3), (1_000, 0.01), (1_500, 0.3)]),
+        512,
+        net.dims(),
+        5,
+    );
+    for _ in 0..2_000 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let snap = net.snapshot();
+    assert!(snap.or_switch_events > 0, "bursts must toggle RCS");
+    // 8.7 pJ per event is tiny but non-zero in the control component.
+    let rep = net.power_report(tech);
+    assert!(rep.dynamic.control > 0.0);
+}
