@@ -13,9 +13,7 @@ use catnap::{MultiNoc, MultiNocConfig};
 use catnap_bench::{emit_json, print_banner, Table};
 use catnap_power::{DelayModel, TechParams};
 use catnap_traffic::{SyntheticPattern, SyntheticWorkload};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     design: String,
     offered: f64,
@@ -25,6 +23,7 @@ struct Row {
     static_w: f64,
     total_w: f64,
 }
+catnap_util::impl_to_json_struct!(Row { design, offered, latency_cycles, latency_ns, dynamic_w, static_w, total_w });
 
 fn run(mut cfg: MultiNocConfig, vdd: f64, freq_hz: f64, offered: f64, name: &str) -> Row {
     cfg.vdd = vdd;

@@ -8,15 +8,14 @@
 use catnap::MultiNocConfig;
 use catnap_bench::{emit_json, print_banner, run_mix, Table};
 use catnap_traffic::WorkloadMix;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     mix: String,
     config: String,
     ipc: f64,
     normalized: f64,
 }
+catnap_util::impl_to_json_struct!(Row { mix, config, ipc, normalized });
 
 fn main() {
     print_banner(

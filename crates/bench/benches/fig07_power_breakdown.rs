@@ -9,9 +9,7 @@
 use catnap_bench::{emit_json, print_banner, Table};
 use catnap_power::analytic::DesignPoint;
 use catnap_power::TechParams;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     design: String,
     ni: f64,
@@ -24,6 +22,7 @@ struct Row {
     static_: f64,
     total: f64,
 }
+catnap_util::impl_to_json_struct!(Row { design, ni, link, clock, control, crossbar, buffer, dynamic, static_, total });
 
 fn main() {
     print_banner("Figure 7", "network power by component at per-port load factor 0.5");

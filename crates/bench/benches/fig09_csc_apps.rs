@@ -8,14 +8,13 @@
 use catnap::MultiNocConfig;
 use catnap_bench::{emit_json, print_banner, run_mix, Table};
 use catnap_traffic::WorkloadMix;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     mix: String,
     config: String,
     csc_percent: f64,
 }
+catnap_util::impl_to_json_struct!(Row { mix, config, csc_percent });
 
 fn main() {
     print_banner("Figure 9", "compensated sleep cycles (%), application mixes");

@@ -10,9 +10,7 @@
 use catnap::{MultiNoc, MultiNocConfig};
 use catnap_bench::{emit_json, print_banner, Table};
 use catnap_traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Sample {
     cycle: u64,
     offered: f64,
@@ -20,6 +18,7 @@ struct Sample {
     subnet_share: Vec<f64>,
     routers_asleep: usize,
 }
+catnap_util::impl_to_json_struct!(Sample { cycle, offered, accepted, subnet_share, routers_asleep });
 
 fn main() {
     print_banner("Figure 12", "bursty traffic: throughput ramp and subnet utilization");

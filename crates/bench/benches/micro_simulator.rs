@@ -1,58 +1,60 @@
-//! Criterion microbenchmarks of the simulator itself: router step rate,
+//! Microbenchmarks of the simulator itself: router step rate,
 //! whole-network step rate, and the closed-loop system step rate.
+//!
+//! A plain timing harness (wall-clock over a fixed iteration budget
+//! with a warmup pass) so the workspace needs no external benchmark
+//! framework. Results are indicative, not statistically rigorous; for
+//! regressions compare steps/s across runs on the same machine.
 
 use catnap::{MultiNoc, MultiNocConfig};
 use catnap_multicore::{System, SystemConfig};
 use catnap_noc::{Network, NetworkConfig};
 use catnap_traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_network_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("network_step");
+/// Times `iters` calls of `step` after `warmup` untimed calls, and
+/// prints ns/step and steps/s.
+fn bench(name: &str, warmup: u64, iters: u64, mut step: impl FnMut()) {
+    for _ in 0..warmup {
+        step();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        step();
+    }
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<28} {ns:>12.0} ns/step {:>14.0} steps/s", 1e9 / ns);
+}
+
+fn main() {
+    println!("--- micro_simulator: simulator step-rate microbenchmarks ---\n");
+
     for width in [128u32, 512] {
-        g.bench_function(format!("idle_8x8_{width}b"), |b| {
-            let mut net = Network::new(NetworkConfig::with_width(width));
-            b.iter(|| {
-                net.step();
-                black_box(net.cycle())
-            });
+        let mut net = Network::new(NetworkConfig::with_width(width));
+        bench(&format!("network idle_8x8_{width}b"), 1_000, 20_000, || {
+            net.step();
+            black_box(net.cycle());
         });
     }
-    g.finish();
-}
 
-fn bench_multinoc_loaded(c: &mut Criterion) {
-    let mut g = c.benchmark_group("multinoc_step");
-    g.bench_function("4NT-128b-PG_load0.10", |b| {
-        let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
-        let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.10, 512, net.dims(), 1);
-        b.iter(|| {
-            load.drive(&mut net);
-            net.step();
-            black_box(net.cycle())
-        });
+    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.10, 512, net.dims(), 1);
+    bench("multinoc 4NT-128b-PG_0.10", 1_000, 10_000, || {
+        load.drive(&mut net);
+        net.step();
+        black_box(net.cycle());
     });
-    g.finish();
-}
 
-fn bench_system_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system_step");
-    g.sample_size(10);
-    g.bench_function("256core_medium_light", |b| {
-        let mut sys = System::new(
-            SystemConfig::paper(),
-            MultiNocConfig::catnap_4x128().gating(true),
-            WorkloadMix::MediumLight,
-            1,
-        );
-        b.iter(|| {
-            sys.step();
-            black_box(sys.total_instructions())
-        });
+    let mut sys = System::new(
+        SystemConfig::paper(),
+        MultiNocConfig::catnap_4x128().gating(true),
+        WorkloadMix::MediumLight,
+        1,
+    );
+    bench("system 256core_medium_light", 200, 2_000, || {
+        sys.step();
+        black_box(sys.total_instructions());
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_network_step, bench_multinoc_loaded, bench_system_step);
-criterion_main!(benches);

@@ -5,15 +5,14 @@
 use catnap_bench::{emit_json, print_banner, Table};
 use catnap_traffic::workload::benchmark;
 use catnap_traffic::WorkloadMix;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     mix: String,
     applications: Vec<String>,
     avg_mpki: f64,
     paper_avg_mpki: f64,
 }
+catnap_util::impl_to_json_struct!(Row { mix, applications, avg_mpki, paper_avg_mpki });
 
 fn main() {
     print_banner("Table 3", "multiprogrammed workload mixes (32 instances each)");

@@ -1,6 +1,6 @@
 //! Output helpers: aligned text tables and JSON series files.
 
-use serde::Serialize;
+use catnap_util::json::ToJson;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -74,7 +74,7 @@ impl Table {
 
 /// Writes a JSON result file under `bench_out/<id>.json` (next to the
 /// workspace root when run via cargo).
-pub fn emit_json<T: Serialize>(id: &str, value: &T) {
+pub fn emit_json<T: ToJson>(id: &str, value: &T) {
     let dir = std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| PathBuf::from(d).join("../../bench_out"))
         .unwrap_or_else(|_| PathBuf::from("bench_out"));
@@ -82,15 +82,11 @@ pub fn emit_json<T: Serialize>(id: &str, value: &T) {
         return;
     }
     let path = dir.join(format!("{id}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("\n[series written to {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {id}: {e}"),
+    let s = value.to_json().to_pretty_string();
+    if let Err(e) = std::fs::write(&path, s) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("\n[series written to {}]", path.display());
     }
 }
 

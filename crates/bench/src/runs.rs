@@ -4,10 +4,10 @@ use catnap::{MultiNoc, MultiNocConfig, MultiNocPowerReport};
 use catnap_multicore::{System, SystemConfig, SystemReport};
 use catnap_power::TechParams;
 use catnap_traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
-use serde::Serialize;
+use catnap_util::impl_to_json_struct;
 
 /// One point of a synthetic-traffic measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SweepPoint {
     /// Configuration name.
     pub config: String,
@@ -24,6 +24,8 @@ pub struct SweepPoint {
     /// Static network power (after gating), watts.
     pub static_w: f64,
 }
+
+impl_to_json_struct!(SweepPoint { config, offered, accepted, latency, csc, dynamic_w, static_w });
 
 impl SweepPoint {
     /// Total power.
@@ -88,7 +90,7 @@ pub fn latency_sweep(
 }
 
 /// Result of a closed-loop multiprogrammed run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MixResult {
     /// Network configuration name.
     pub config: String,
@@ -99,6 +101,8 @@ pub struct MixResult {
     /// Network power over the measured window.
     pub power: MultiNocPowerReport,
 }
+
+impl_to_json_struct!(MixResult { config, mix, system, power });
 
 /// Runs a workload mix on a network design: `warmup` + `measure` cycles;
 /// power and CSC measured over the `measure` window only.
@@ -146,5 +150,44 @@ mod tests {
         assert!(r.system.ipc > 10.0);
         assert!(r.power.total() > 10.0);
         assert_eq!(r.mix, "Light");
+    }
+
+    /// A serialized [`SweepPoint`] must keep the exact key set and order
+    /// of the committed `bench_out/fig06.json` series, so regenerated
+    /// figures stay diffable against the checked-in outputs.
+    #[test]
+    fn sweep_point_matches_fig06_fixture_shape() {
+        use catnap_util::{Json, ToJson};
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_out/fig06.json");
+        let text = std::fs::read_to_string(path).expect("read fig06 fixture");
+        let fixture = Json::parse(&text).expect("parse fig06 fixture");
+        let Json::Arr(rows) = &fixture else { panic!("fig06 must be a JSON array") };
+        assert!(!rows.is_empty());
+        let Json::Obj(first) = &rows[0] else { panic!("fig06 rows must be objects") };
+        let fixture_keys: Vec<&str> = first.iter().map(|(k, _)| k.as_str()).collect();
+
+        let p = SweepPoint {
+            config: "4NT-128b".to_string(),
+            offered: 0.6,
+            accepted: 0.394771484375,
+            latency: 2170.1624406920537,
+            csc: 0.0,
+            dynamic_w: 19.643057834498343,
+            static_w: 22.0,
+        };
+        let Json::Obj(ours) = p.to_json() else { panic!("SweepPoint must serialize to an object") };
+        let our_keys: Vec<&str> = ours.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(our_keys, fixture_keys, "SweepPoint keys drifted from the fig06 series shape");
+    }
+
+    /// serialize ∘ parse is a string-level fixed point on the committed
+    /// fig06 series (the in-tree writer reproduces the fixture verbatim).
+    #[test]
+    fn fig06_fixture_roundtrips_verbatim() {
+        use catnap_util::Json;
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_out/fig06.json");
+        let text = std::fs::read_to_string(path).expect("read fig06 fixture");
+        let parsed = Json::parse(&text).expect("parse fig06 fixture");
+        assert_eq!(parsed.to_pretty_string(), text.trim_end());
     }
 }

@@ -4,10 +4,9 @@ use crate::congestion::{CongestionMetric, MetricKind};
 use crate::gating::GatingPolicy;
 use catnap_noc::{GatingConfig, MeshDims, NetworkConfig};
 use catnap_power::DelayModel;
-use serde::{Deserialize, Serialize};
 
 /// Which subnet-selection policy to instantiate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SelectorKind {
     /// Round-robin across subnets (conventional baseline).
     RoundRobin,
@@ -18,7 +17,7 @@ pub enum SelectorKind {
 }
 
 /// How the mesh is partitioned into RCS regions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RegionMode {
     /// Quadrants (4x4 regions of the 8x8 mesh — the paper's design).
     Quadrants,
@@ -29,7 +28,7 @@ pub enum RegionMode {
 }
 
 /// Full configuration of a (multi-)network design point.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MultiNocConfig {
     /// Display name, e.g. `"4NT-128b-PG"`.
     pub name: String,

@@ -12,10 +12,9 @@
 //! the status is stable for at least a few cycles.
 
 use catnap_noc::Router;
-use serde::{Deserialize, Serialize};
 
 /// Which local congestion metric a detector uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MetricKind {
     /// Maximum input-port buffer occupancy (Catnap's choice).
     Bfm,
@@ -30,7 +29,7 @@ pub enum MetricKind {
 }
 
 /// A local congestion metric with its thresholds.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum CongestionMetric {
     /// Max port occupancy in flits: set when `>= set`, cleared when
     /// `< clear`.
@@ -115,7 +114,7 @@ pub struct NodeSignals {
 }
 
 /// Per-(node, subnet) local congestion detector.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LocalDetector {
     congested: bool,
     // Injection-rate window state.

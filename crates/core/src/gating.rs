@@ -5,10 +5,9 @@
 //! signals, NI wake requests) live in `catnap-noc`; this module supplies
 //! the *policy* that drives them each cycle.
 
-use serde::{Deserialize, Serialize};
 
 /// Which power-gating policy a [`MultiNoc`](crate::MultiNoc) runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GatingPolicy {
     /// No power gating: every router stays active.
     None,

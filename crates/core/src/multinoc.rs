@@ -11,7 +11,6 @@ use catnap_noc::power_state::WakeReason;
 use catnap_noc::stats::{GatingActivity, RouterActivity};
 use catnap_noc::{MeshDims, Network, NodeId, PacketDescriptor, RegionMap};
 use catnap_traffic::generator::PacketSink;
-use serde::{Deserialize, Serialize};
 
 use crate::gating::GatingPolicy;
 
@@ -360,7 +359,7 @@ impl std::fmt::Debug for MultiNoc {
 }
 
 /// Cumulative counters of a [`MultiNoc`] at one instant.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Snapshot {
     /// Cycle the snapshot was taken at.
     pub cycle: u64,
@@ -492,7 +491,7 @@ fn sub_gating(a: &GatingActivity, b: &GatingActivity) -> GatingActivity {
 }
 
 /// Summary of one simulation run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Configuration name.
     pub name: String,
@@ -517,6 +516,20 @@ pub struct RunReport {
     /// Share of injected flits carried by each subnet.
     pub subnet_utilization: Vec<f64>,
 }
+
+catnap_util::impl_to_json_struct!(RunReport {
+    name,
+    cycles,
+    packets_generated,
+    packets_delivered,
+    avg_packet_latency,
+    max_packet_latency,
+    accepted_packets_per_node_cycle,
+    accepted_flits_per_node_cycle,
+    csc_fraction,
+    sleep_transitions,
+    subnet_utilization,
+});
 
 #[cfg(test)]
 mod tests {

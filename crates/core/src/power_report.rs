@@ -4,10 +4,9 @@
 use crate::multinoc::{MultiNoc, Snapshot};
 use catnap_power::model::{NetworkPowerModel, RouterPowerModel};
 use catnap_power::{PowerBreakdown, TechParams};
-use serde::{Deserialize, Serialize};
 
 /// Power of a Multi-NoC over a measurement window.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MultiNocPowerReport {
     /// Configuration name.
     pub name: String,
@@ -18,6 +17,8 @@ pub struct MultiNocPowerReport {
     /// Fraction of router-cycles that were compensated sleep cycles.
     pub csc_fraction: f64,
 }
+
+catnap_util::impl_to_json_struct!(MultiNocPowerReport { name, dynamic, static_, csc_fraction });
 
 impl MultiNocPowerReport {
     /// Total network power in watts.

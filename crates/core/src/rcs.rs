@@ -11,11 +11,10 @@
 //! costs 8.7 pJ (paper Section 4.1).
 
 use catnap_noc::{NodeId, RegionId, RegionMap};
-use serde::{Deserialize, Serialize};
 
 /// The per-subnet OR network aggregating LCS bits into per-region RCS
 /// bits.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct OrNetwork {
     regions: RegionMap,
     period: u32,

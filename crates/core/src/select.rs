@@ -5,9 +5,7 @@
 //! choice determines whether higher-order subnets see the long idle
 //! periods that make power gating profitable.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use catnap_util::SimRng;
 
 /// A subnet-selection policy.
 ///
@@ -23,7 +21,7 @@ pub trait SubnetSelector {
 
 /// Round-robin across subnets regardless of congestion (the conventional
 /// baseline: spreads load evenly and defeats power gating).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RoundRobin {
     counters: Vec<usize>,
 }
@@ -52,14 +50,14 @@ impl SubnetSelector for RoundRobin {
 /// Uniformly random subnet choice.
 #[derive(Clone, Debug)]
 pub struct RandomSelect {
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl RandomSelect {
     /// Seeded for determinism.
     pub fn new(seed: u64) -> Self {
         RandomSelect {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
         }
     }
 }
@@ -76,7 +74,7 @@ impl SubnetSelector for RandomSelect {
 /// Catnap's strict-priority policy (Section 3.2): inject into the
 /// lowest-order subnet that is not close to congestion; if every subnet is
 /// congested, round-robin among them all.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CatnapPriority {
     rr_counters: Vec<usize>,
 }

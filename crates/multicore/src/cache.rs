@@ -7,13 +7,11 @@
 //! owner/sharer tracking, driven by a synthetic address-stream generator.
 //! The integration tests cross-validate the two models.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use catnap_util::SimRng;
 use std::collections::HashMap;
 
 /// MESI line state.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MesiState {
     /// Modified: dirty, exclusive.
     Modified,
@@ -24,7 +22,7 @@ pub enum MesiState {
 }
 
 /// Geometry of a cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -59,7 +57,7 @@ impl CacheConfig {
     }
 }
 
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 struct Line {
     tag: u64,
     state: MesiState,
@@ -79,7 +77,7 @@ pub enum AccessOutcome {
 }
 
 /// A set-associative, write-back, LRU cache.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,
@@ -200,7 +198,7 @@ impl SetAssocCache {
 }
 
 /// Directory entry: who caches a block.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct DirEntry {
     /// Exclusive owner (core id), if any.
     pub owner: Option<u32>,
@@ -224,7 +222,7 @@ pub enum DirectoryAction {
 }
 
 /// The directory for one home L2 slice.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Directory {
     entries: HashMap<u64, DirEntry>,
 }
@@ -293,7 +291,7 @@ impl Directory {
 /// accesses to a globally shared region.
 #[derive(Clone, Debug)]
 pub struct AddressStream {
-    rng: StdRng,
+    rng: SimRng,
     base: u64,
     working_set: u64,
     shared_base: u64,
@@ -308,7 +306,7 @@ impl AddressStream {
     /// common to all cores.
     pub fn new(core: usize, working_set: u64, shared_set: u64, shared_fraction: f64, seed: u64) -> Self {
         AddressStream {
-            rng: StdRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: SimRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             base: 0x1_0000_0000 + (core as u64) * 0x100_0000,
             working_set,
             shared_base: 0x8_0000_0000,

@@ -1,10 +1,9 @@
 //! System configuration (the paper's Table 1).
 
 use catnap_noc::{MeshDims, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the many-core system around the network.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
     /// Cores per network node (concentration; paper: 4 tiles/router).
     pub cores_per_node: usize,

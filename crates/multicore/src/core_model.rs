@@ -15,8 +15,7 @@
 //! reproducing the bursty traffic the paper highlights (Section 2.4).
 
 use catnap_traffic::Benchmark;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use catnap_util::SimRng;
 
 /// Identifier of an outstanding miss (unique per core).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -45,7 +44,7 @@ pub struct Core {
     commit_width: u32,
     window: u64,
     mshrs: usize,
-    rng: StdRng,
+    rng: SimRng,
     outstanding: Vec<Outstanding>,
     next_miss: u64,
     /// Remaining misses of the current miss cluster.
@@ -86,7 +85,7 @@ impl Core {
         } else {
             u32::MAX
         };
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         // Desynchronize phases across cores.
         let phase_left = rng.gen_range(1..=calm_len.max(2));
         Core {
@@ -269,7 +268,7 @@ mod tests {
 
     #[test]
     fn mshr_limit_bounds_outstanding() {
-        let mut c = Core::new(benchmark("mcf").unwrap(), 2, 64, 4, 7);
+        let mut c = Core::new(benchmark("mcf").unwrap(), 2, 64, 4, 1);
         let mut issued = Vec::new();
         // Never complete anything: outstanding must saturate at 4.
         for _ in 0..10_000 {

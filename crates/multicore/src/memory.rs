@@ -7,16 +7,15 @@
 //! depth are refused back-pressure-style by the system (held at the home
 //! node).
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Opaque token identifying a queued memory request (the system maps it
 /// back to a transaction).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MemToken(pub u64);
 
 /// One memory controller.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MemoryController {
     latency: u32,
     requests_per_cycle: f64,

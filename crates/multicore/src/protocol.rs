@@ -15,10 +15,9 @@
 
 use crate::config::SystemConfig;
 use catnap_noc::{MessageClass, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// One message leg of a transaction.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Leg {
     /// Sending node.
     pub from: NodeId,
@@ -38,7 +37,7 @@ pub struct Leg {
 }
 
 /// A transaction: its legs and the leg whose delivery unblocks the core.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TransactionScript {
     /// Message legs in order.
     pub legs: Vec<Leg>,

@@ -9,9 +9,7 @@ use catnap::{MultiNoc, MultiNocConfig, RunReport};
 use catnap_noc::{MessageClass, NodeId, PacketDescriptor, PacketId};
 use catnap_traffic::generator::PacketSink;
 use catnap_traffic::WorkloadMix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use catnap_util::SimRng;
 use std::collections::{BTreeMap, HashMap};
 
 struct Tx {
@@ -35,7 +33,7 @@ pub struct System {
     mc_index_of_node: HashMap<NodeId, usize>,
     mc_tokens: HashMap<u64, (u64, usize)>,
     mc_retry: Vec<(usize, u64, usize)>,
-    rng: StdRng,
+    rng: SimRng,
     next_tx: u64,
     next_packet: u64,
     next_token: u64,
@@ -76,7 +74,7 @@ impl System {
             mc_index_of_node,
             mc_tokens: HashMap::new(),
             mc_retry: Vec::new(),
-            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+            rng: SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
             next_tx: 0,
             next_packet: 0,
             next_token: 0,
@@ -340,7 +338,7 @@ impl System {
 }
 
 /// Result of a closed-loop system run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SystemReport {
     /// Cycles simulated.
     pub cycles: u64,
@@ -357,6 +355,16 @@ pub struct SystemReport {
     /// Network-side report.
     pub network: RunReport,
 }
+
+catnap_util::impl_to_json_struct!(SystemReport {
+    cycles,
+    total_instructions,
+    ipc,
+    misses_issued,
+    misses_completed,
+    avg_miss_latency,
+    network,
+});
 
 #[cfg(test)]
 mod tests {

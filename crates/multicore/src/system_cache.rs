@@ -24,13 +24,11 @@ use crate::protocol::{self, TransactionScript};
 use catnap::{MultiNoc, MultiNocConfig, RunReport};
 use catnap_noc::{NodeId, PacketDescriptor, PacketId};
 use catnap_traffic::generator::PacketSink;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use catnap_util::SimRng;
 use std::collections::{BTreeMap, HashMap};
 
 /// Per-core parameters of the cache-accurate mode.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CacheWorkload {
     /// Fraction of instructions that access memory.
     pub mem_ratio: f64,
@@ -100,7 +98,7 @@ pub struct CacheSystem {
     mc_nodes: Vec<NodeId>,
     mc_tokens: HashMap<u64, (u64, usize)>,
     mc_retry: Vec<(usize, u64, usize)>,
-    rng: StdRng,
+    rng: SimRng,
     next_tx: u64,
     next_packet: u64,
     next_token: u64,
@@ -154,7 +152,7 @@ impl CacheSystem {
             mc_nodes,
             mc_tokens: HashMap::new(),
             mc_retry: Vec::new(),
-            rng: StdRng::seed_from_u64(seed | 1),
+            rng: SimRng::seed_from_u64(seed | 1),
             next_tx: 0,
             next_packet: 0,
             next_token: 0,
@@ -540,7 +538,7 @@ impl CacheSystem {
 }
 
 /// Report of a cache-accurate run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CacheSystemReport {
     /// Cycles simulated.
     pub cycles: u64,

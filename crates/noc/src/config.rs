@@ -1,11 +1,10 @@
 //! Network and power-gating configuration.
 
 use crate::geometry::MeshDims;
-use serde::{Deserialize, Serialize};
 
 /// Timing and energy parameters of runtime power gating, as determined by
 /// the paper's SPICE analysis (Section 4.3).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GatingConfig {
     /// Cycles to charge a gated router back up to Vdd (paper: 10 cycles for
     /// a 128-bit router at 2 GHz; 3 of them hidden by look-ahead wake-up).
@@ -37,7 +36,7 @@ impl Default for GatingConfig {
 }
 
 /// Static configuration of one physical network (one subnet).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NetworkConfig {
     /// Mesh dimensions (paper: 8x8 concentrated mesh for 256 cores, 4x4 for
     /// 64 cores).

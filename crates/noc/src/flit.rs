@@ -6,11 +6,10 @@
 //! path, holding one virtual channel per router until the tail passes.
 
 use crate::geometry::{NodeId, Port};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Globally unique packet identifier (unique per simulation).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct PacketId(pub u64);
 
 impl fmt::Display for PacketId {
@@ -24,7 +23,7 @@ impl fmt::Display for PacketId {
 /// The paper maps dependent message classes to disjoint virtual channels to
 /// guarantee protocol-level deadlock freedom (Section 2.3). Synthetic
 /// traffic uses [`MessageClass::Synthetic`], which may use any VC.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum MessageClass {
     /// Coherence request (GetS/GetM/upgrade); 1-flit control packets.
     Request,
@@ -87,7 +86,7 @@ impl MessageClass {
 }
 
 /// Position of a flit within its packet.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FlitKind {
     /// First flit of a multi-flit packet; carries routing information.
     Head,
@@ -112,7 +111,7 @@ impl FlitKind {
 }
 
 /// A flow-control unit traversing the network.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Flit {
     /// Packet this flit belongs to.
     pub packet: PacketId,
@@ -160,7 +159,7 @@ impl Flit {
 
 /// Descriptor of a packet awaiting injection (the NI-side representation:
 /// flits are materialized lazily as they enter the network).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PacketDescriptor {
     /// Unique packet id.
     pub id: PacketId,

@@ -2,13 +2,12 @@
 //! deterministic X-Y routing and region partitioning for the regional
 //! congestion-status OR network.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a network node (one router plus its network interface).
 ///
 /// Nodes are numbered in row-major order: `id = y * cols + x`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -36,7 +35,7 @@ impl From<u16> for NodeId {
 }
 
 /// A cardinal direction in the mesh.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Direction {
     /// Towards row 0 (decreasing y).
     North,
@@ -69,7 +68,7 @@ impl Direction {
 }
 
 /// A router port: four mesh directions plus the local (NI) port.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Port {
     /// Link to the northern neighbour.
     North,
@@ -147,7 +146,7 @@ impl fmt::Display for Port {
 }
 
 /// Dimensions of a 2-D mesh.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct MeshDims {
     /// Number of columns (X extent).
     pub cols: u16,
@@ -239,7 +238,7 @@ impl MeshDims {
 
 /// Identifier of a region of the mesh (used by the regional congestion
 /// status OR network, which partitions an 8x8 mesh into four 4x4 regions).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RegionId(pub u8);
 
 impl RegionId {
@@ -255,7 +254,7 @@ impl RegionId {
 /// The Catnap paper partitions the 8x8 mesh into four 4x4 regions; this type
 /// generalizes that to any rectangular tiling (including a single global
 /// region or per-node regions, used by the ablation benches).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RegionMap {
     dims: MeshDims,
     region_cols: u16,

@@ -14,10 +14,9 @@
 //! `t_breakeven` cycles of leakage-equivalent energy for switching the sleep
 //! transistor and recharging decoupling capacitance.
 
-use serde::{Deserialize, Serialize};
 
 /// Power state of a router.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PowerState {
     /// Powered and operational.
     Active,
@@ -43,7 +42,7 @@ impl PowerState {
 }
 
 /// Why a wake-up was requested (for diagnostics and policy evaluation).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WakeReason {
     /// The regional congestion status of the next-lower-order subnet turned
     /// on (Catnap policy, Section 3.3).
@@ -58,7 +57,7 @@ pub enum WakeReason {
 }
 
 /// Power-state machine plus gating statistics for one router.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PowerStateMachine {
     state: PowerState,
     t_wakeup: u32,

@@ -5,10 +5,9 @@
 //! crossbar traversals, link flits and arbitration activity. The counters
 //! are pure data so the power model stays decoupled from the simulator.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-router event counters accumulated over a simulation.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RouterActivity {
     /// Flits written into input VC buffers (arrivals and injections).
     pub buffer_writes: u64,
@@ -55,7 +54,7 @@ impl RouterActivity {
 }
 
 /// Power-gating residency summary for one router.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GatingActivity {
     /// Cycles the router was active (powered, operational).
     pub active_cycles: u64,
@@ -93,7 +92,7 @@ impl GatingActivity {
 }
 
 /// Aggregate statistics for one subnet.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct NetworkStats {
     /// Cycles simulated.
     pub cycles: u64,

@@ -2,14 +2,13 @@
 
 use crate::flit::Flit;
 use crate::geometry::Port;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The downstream resources a packet at the head of an input VC has been
 /// allocated: an output port and a VC at the downstream router. Held from
 /// successful VC allocation until the tail flit leaves (wormhole
 /// switching).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Binding {
     /// Output port at this router.
     pub out_port: Port,
@@ -18,7 +17,7 @@ pub struct Binding {
 }
 
 /// One virtual-channel input buffer of a router port.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InputVc {
     buf: VecDeque<Flit>,
     depth: usize,

@@ -15,11 +15,10 @@ use crate::breakdown::PowerBreakdown;
 use crate::model::{directed_links, NetworkPowerModel, RouterPowerModel};
 use crate::params::TechParams;
 use catnap_noc::MeshDims;
-use serde::{Deserialize, Serialize};
 
 /// Description of a (possibly multi-subnet) network design for analytic
 /// power evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DesignPoint {
     /// Human-readable name, e.g. `"1NT-512b 0.750V"`.
     pub name: &'static str,

@@ -2,13 +2,14 @@
 //! paper's Figure 7: buffer, crossbar, control, clock, link, and network
 //! interface.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul};
 
+use catnap_util::impl_to_json_struct;
+
 /// Power (or energy) attributed to each network component, in watts (or
 /// joules — the struct is unit-agnostic and linear).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PowerBreakdown {
     /// Router input buffers.
     pub buffer: f64,
@@ -55,6 +56,8 @@ impl PowerBreakdown {
         }
     }
 }
+
+impl_to_json_struct!(PowerBreakdown { buffer, crossbar, control, clock, link, ni });
 
 impl Add for PowerBreakdown {
     type Output = PowerBreakdown;

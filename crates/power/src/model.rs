@@ -6,12 +6,11 @@ use crate::breakdown::PowerBreakdown;
 use crate::params::TechParams;
 use catnap_noc::stats::{GatingActivity, RouterActivity};
 use catnap_noc::{MeshDims, Network};
-use serde::{Deserialize, Serialize};
 
 const PJ: f64 = 1e-12;
 
 /// Power model of a single router (and the links it drives).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RouterPowerModel {
     /// Datapath width in bits.
     pub width_bits: u32,
@@ -99,7 +98,7 @@ impl RouterPowerModel {
 }
 
 /// Power report for one subnet over a measurement window.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SubnetPowerReport {
     /// Dynamic power by component, in watts.
     pub dynamic: PowerBreakdown,
@@ -121,7 +120,7 @@ impl SubnetPowerReport {
 /// Power model of one whole subnet: `num_routers` routers plus the mesh
 /// links between them. NI power is accounted separately (NIs are shared
 /// across subnets in a Multi-NoC).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetworkPowerModel {
     /// Per-router model.
     pub router: RouterPowerModel,

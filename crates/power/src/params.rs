@@ -8,10 +8,9 @@
 //! even though the Multi-NoC runs at 0.625 V); an exponent is provided for
 //! sensitivity studies.
 
-use serde::{Deserialize, Serialize};
 
 /// Energy and leakage coefficients for the power model.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TechParams {
     /// Reference supply voltage at which dynamic energies are specified.
     pub vdd_ref: f64,

@@ -14,10 +14,9 @@
 //! with `Vt = 0.38 V`, `alpha = 1.3`, and `d0, C` fitted so that all four
 //! rows of Table 2 are reproduced.
 
-use serde::{Deserialize, Serialize};
 
 /// One row of the paper's Table 2.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct VoltagePoint {
     /// Design name ("Single-NoC" or "Multi-NoC").
     pub design: &'static str,
@@ -29,8 +28,10 @@ pub struct VoltagePoint {
     pub vdd: f64,
 }
 
+catnap_util::impl_to_json_struct!(VoltagePoint { design, width_bits, freq_ghz, vdd });
+
 /// Alpha-power-law critical-path delay model.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DelayModel {
     /// Threshold voltage.
     pub vt: f64,

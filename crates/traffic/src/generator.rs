@@ -3,8 +3,7 @@
 use crate::patterns::SyntheticPattern;
 use crate::schedule::LoadSchedule;
 use catnap_noc::{MeshDims, MessageClass, PacketDescriptor, PacketId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use catnap_util::SimRng;
 
 /// Anything that can accept generated packets: the Multi-NoC network
 /// interface layer implements this.
@@ -47,7 +46,7 @@ pub struct SyntheticWorkload {
     schedule: LoadSchedule,
     packet_bits: u32,
     dims: MeshDims,
-    rng: StdRng,
+    rng: SimRng,
     next_id: u64,
     generated: u64,
 }
@@ -72,7 +71,7 @@ impl SyntheticWorkload {
             schedule,
             packet_bits,
             dims,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             next_id: 0,
             generated: 0,
         }

@@ -1,15 +1,14 @@
 //! Synthetic destination patterns.
 
 use catnap_noc::{MeshDims, NodeId};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use catnap_util::SimRng;
 
 /// A synthetic traffic pattern: maps a source node to a destination.
 ///
 /// The paper evaluates uniform random, transpose and bit complement
 /// (Section 4.1); tornado, hotspot and neighbour exchange are provided for
 /// additional stress tests.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum SyntheticPattern {
     /// Destination drawn uniformly from all other nodes.
     UniformRandom,
@@ -36,7 +35,7 @@ impl SyntheticPattern {
     /// Picks the destination for a packet from `src`. Returns `None` when
     /// the pattern maps the node to itself (such nodes do not inject,
     /// e.g. the diagonal under transpose).
-    pub fn destination<R: Rng + ?Sized>(self, src: NodeId, dims: MeshDims, rng: &mut R) -> Option<NodeId> {
+    pub fn destination(self, src: NodeId, dims: MeshDims, rng: &mut SimRng) -> Option<NodeId> {
         let n = dims.num_nodes();
         let dst = match self {
             SyntheticPattern::UniformRandom => {
@@ -96,8 +95,6 @@ impl SyntheticPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn mesh8() -> MeshDims {
         MeshDims::new(8, 8)
@@ -105,7 +102,7 @@ mod tests {
 
     #[test]
     fn uniform_never_self() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         for i in 0..64u16 {
             for _ in 0..20 {
                 let d = SyntheticPattern::UniformRandom
@@ -118,7 +115,7 @@ mod tests {
 
     #[test]
     fn uniform_covers_all_destinations() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let mut seen = [false; 64];
         for _ in 0..4000 {
             let d = SyntheticPattern::UniformRandom
@@ -131,7 +128,7 @@ mod tests {
 
     #[test]
     fn transpose_swaps_coordinates() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let dims = mesh8();
         let src = dims.node_at(2, 5);
         let d = SyntheticPattern::Transpose.destination(src, dims, &mut rng).unwrap();
@@ -145,7 +142,7 @@ mod tests {
 
     #[test]
     fn bit_complement_is_involutive() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SimRng::seed_from_u64(4);
         let dims = mesh8();
         for i in 0..64u16 {
             let d = SyntheticPattern::BitComplement
@@ -158,7 +155,7 @@ mod tests {
 
     #[test]
     fn tornado_shifts_half_ring() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         let dims = mesh8();
         let d = SyntheticPattern::Tornado
             .destination(dims.node_at(0, 2), dims, &mut rng)
@@ -169,7 +166,7 @@ mod tests {
 
     #[test]
     fn hotspot_bias() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = SimRng::seed_from_u64(6);
         let dims = mesh8();
         let hs = NodeId(27);
         let pat = SyntheticPattern::HotSpot {
@@ -188,7 +185,7 @@ mod tests {
 
     #[test]
     fn neighbor_exchange_wraps() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         let dims = mesh8();
         let d = SyntheticPattern::NeighborExchange
             .destination(dims.node_at(7, 0), dims, &mut rng)

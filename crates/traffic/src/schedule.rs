@@ -1,6 +1,5 @@
 //! Time-varying offered-load schedules for bursty-traffic experiments.
 
-use serde::{Deserialize, Serialize};
 
 /// A piecewise-constant offered-load schedule: the injection rate
 /// (packets per node per cycle) as a function of the simulation cycle.
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// The paper's Figure 12 uses a base load of 0.01 with a burst to 0.30
 /// during cycles 1000-1500 and a second burst to 0.10 during cycles
 /// 2000-2500; see [`LoadSchedule::fig12_bursts`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoadSchedule {
     /// `(from_cycle, rate)` segments, sorted by cycle; each rate applies
     /// from its cycle until the next segment.

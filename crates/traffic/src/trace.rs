@@ -9,11 +9,11 @@
 
 use crate::generator::PacketSink;
 use catnap_noc::{MessageClass, NodeId, PacketDescriptor, PacketId};
-use serde::{Deserialize, Serialize};
+use catnap_util::json::{FromJson, Json, JsonError, ToJson};
 use std::io::{BufRead, Write};
 
 /// One trace record (a packet creation event).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceRecord {
     /// Creation cycle.
     pub cycle: u64,
@@ -52,15 +52,62 @@ impl TraceRecord {
     }
 }
 
+/// Stable string form of a message class for the trace format.
+fn class_name(class: MessageClass) -> &'static str {
+    match class {
+        MessageClass::Request => "Request",
+        MessageClass::Forward => "Forward",
+        MessageClass::Response => "Response",
+        MessageClass::Synthetic => "Synthetic",
+    }
+}
+
+fn class_from_name(name: &str) -> Result<MessageClass, JsonError> {
+    MessageClass::ALL
+        .into_iter()
+        .find(|&c| class_name(c) == name)
+        .ok_or_else(|| JsonError {
+            msg: format!("unknown message class '{name}'"),
+        })
+}
+
+impl ToJson for TraceRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cycle".to_string(), self.cycle.to_json()),
+            ("src".to_string(), self.src.to_json()),
+            ("dst".to_string(), self.dst.to_json()),
+            ("bits".to_string(), self.bits.to_json()),
+            ("class".to_string(), Json::Str(class_name(self.class).to_string())),
+        ])
+    }
+}
+
+impl FromJson for TraceRecord {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| {
+            j.get(name).ok_or_else(|| JsonError {
+                msg: format!("missing field '{name}'"),
+            })
+        };
+        Ok(TraceRecord {
+            cycle: u64::from_json(field("cycle")?)?,
+            src: u16::from_json(field("src")?)?,
+            dst: u16::from_json(field("dst")?)?,
+            bits: u32::from_json(field("bits")?)?,
+            class: class_from_name(String::from_json(field("class")?)?.as_str())?,
+        })
+    }
+}
+
 /// Serializes records as JSON lines.
 ///
 /// # Errors
 ///
-/// Returns any I/O or serialization error.
+/// Returns any I/O error.
 pub fn write_trace<W: Write>(mut w: W, records: &[TraceRecord]) -> std::io::Result<()> {
     for r in records {
-        let line = serde_json::to_string(r).map_err(std::io::Error::other)?;
-        writeln!(w, "{line}")?;
+        writeln!(w, "{}", r.to_json().to_compact_string())?;
     }
     Ok(())
 }
@@ -77,7 +124,8 @@ pub fn read_trace<R: BufRead>(r: R) -> std::io::Result<Vec<TraceRecord>> {
         if line.trim().is_empty() {
             continue;
         }
-        out.push(serde_json::from_str(&line).map_err(std::io::Error::other)?);
+        let value = Json::parse(&line).map_err(std::io::Error::other)?;
+        out.push(TraceRecord::from_json(&value).map_err(std::io::Error::other)?);
     }
     Ok(out)
 }

@@ -11,10 +11,9 @@
 //! well-known memory intensity (e.g. `mcf` extremely memory-bound,
 //! `sjeng`/`gromacs` compute-bound).
 
-use serde::{Deserialize, Serialize};
 
 /// Synthetic memory-behaviour parameters of one application.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Benchmark {
     /// Benchmark name.
     pub name: &'static str,
@@ -45,7 +44,7 @@ pub struct Benchmark {
 }
 
 /// Benchmark suite.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Suite {
     /// SPEC CPU2006.
     SpecCpu2006,
@@ -136,7 +135,7 @@ pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
 /// One of the paper's four multiprogrammed workload mixes (Table 3). Each
 /// mix runs 32 instances of each of its eight applications on the
 /// 256-core system (one application instance per core).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WorkloadMix {
     /// Avg. MPKI 3.9.
     Light,

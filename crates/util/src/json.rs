@@ -1,0 +1,790 @@
+//! Minimal JSON: a value type, serializer, parser, and conversion
+//! traits.
+//!
+//! This replaces `serde`/`serde_json` for the two places the workspace
+//! actually serializes data: the JSON-lines packet-trace format
+//! (`catnap-traffic`) and the `bench_out/*.json` figure series
+//! (`catnap-bench`). It intentionally supports exactly the JSON subset
+//! those formats need: objects (insertion-ordered), arrays, strings
+//! with escape sequences, booleans, null, and numbers split into
+//! integer ([`Json::Int`]) and floating ([`Json::Num`]) variants so
+//! `u64` counters survive round trips exactly and
+//! serialize→parse→serialize is a string-level fixed point.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (no decimal point or exponent in the source text).
+    Int(i64),
+    /// A floating-point number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on serialization.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error from [`Json::parse`] or [`FromJson`] conversions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description, including the byte offset for parse
+    /// errors.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    fn new(msg: impl Into<String>) -> JsonError {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (String, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().collect())
+    }
+
+    /// Looks up a key in an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(i) => Some(i as f64),
+            Json::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` (only [`Json::Int`]).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (non-negative [`Json::Int`]).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object pairs.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Object keys in insertion order (empty for non-objects).
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Compact serialization (no whitespace).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation, matching the
+    /// layout `serde_json::to_string_pretty` used for `bench_out`
+    /// files.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Json::Num(n) => write_f64(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, depth| {
+                    items[i].write(out, indent, depth);
+                });
+            }
+            Json::Obj(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, depth| {
+                    let (k, v) = &pairs[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth);
+                });
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first syntax error and
+    /// its byte offset.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!("trailing data at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+/// Writes an `f64` so it re-parses as [`Json::Num`]: always with a
+/// decimal point or exponent, keeping serialize∘parse idempotent.
+fn write_f64(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null is the conventional fallback.
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{n}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(JsonError::new(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(JsonError::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(JsonError::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane chars.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !(self.peek() == Some(b'\\')) {
+                                    return Err(JsonError::new("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(JsonError::new("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| JsonError::new("invalid \\u escape"))?);
+                        }
+                        _ => return Err(JsonError::new(format!("bad escape at byte {}", self.pos))),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the raw bytes: find the char
+                    // boundary and push the whole character.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonError::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError::new("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| JsonError::new("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("bad number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::new(format!("bad number at byte {start}")))
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Converts `self` to JSON.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Converts from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the value has the wrong shape.
+    fn from_json(j: &Json) -> Result<Self, JsonError>;
+}
+
+macro_rules! impl_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(j: &Json) -> Result<Self, JsonError> {
+                let v = j.as_i64().ok_or_else(|| JsonError::new("expected integer"))?;
+                <$t>::try_from(v).map_err(|_| JsonError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_json_uint!(u8, u16, u32, usize, i32, i64);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        // Counters beyond i64::MAX cannot occur in practice; saturate
+        // rather than wrap if they somehow do.
+        Json::Int(i64::try_from(*self).unwrap_or(i64::MAX))
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_u64().ok_or_else(|| JsonError::new("expected unsigned integer"))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_f64().ok_or_else(|| JsonError::new("expected number"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_bool().ok_or_else(|| JsonError::new("expected bool"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_str().map(str::to_string).ok_or_else(|| JsonError::new("expected string"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_array()
+            .ok_or_else(|| JsonError::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<K: AsRef<str>, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.as_ref().to_string(), v.to_json())).collect())
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+/// Implements [`ToJson`] for a struct as an object with one key per
+/// listed field, in order:
+///
+/// ```
+/// use catnap_util::{impl_to_json_struct, json::ToJson};
+/// struct Point { x: f64, y: f64 }
+/// impl_to_json_struct!(Point { x, y });
+/// assert_eq!(Point { x: 1.0, y: 2.0 }.to_json().keys(), vec!["x", "y"]);
+/// ```
+#[macro_export]
+macro_rules! impl_to_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).trim_end_matches('_').to_string(), self.$field.to_json()),)+
+                ])
+            }
+        }
+    };
+}
+
+/// Implements [`FromJson`] for a struct from an object with one key
+/// per listed field (trailing-underscore field names map to the
+/// underscore-less key, matching [`impl_to_json_struct`]).
+#[macro_export]
+macro_rules! impl_from_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::FromJson for $ty {
+            fn from_json(j: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                Ok(Self {
+                    $($field: $crate::json::FromJson::from_json(
+                        j.get(stringify!($field).trim_end_matches('_')).ok_or_else(|| {
+                            $crate::json::JsonError {
+                                msg: format!("missing field '{}'", stringify!($field)),
+                            }
+                        })?,
+                    )?,)+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Num(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::Num(2000.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures() {
+        let j = Json::parse(r#"{"a": [1, 2.5, "x"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(j.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(j.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(j.keys(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated", "[1] extra"] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1F600}é";
+        let j = Json::Str(s.to_string());
+        let text = j.to_compact_string();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+        // Surrogate-pair escapes parse too.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("\u{1F600}".to_string())
+        );
+    }
+
+    #[test]
+    fn serialize_parse_serialize_is_fixed_point() {
+        let j = Json::obj(vec![
+            ("count".to_string(), Json::Int(3)),
+            ("rate".to_string(), Json::Num(0.25)),
+            ("whole".to_string(), Json::Num(2.0)),
+            ("name".to_string(), Json::Str("catnap".to_string())),
+            ("flags".to_string(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        for text in [j.to_compact_string(), j.to_pretty_string()] {
+            let once = Json::parse(&text).unwrap();
+            assert_eq!(once, j, "value round trip");
+            let twice = Json::parse(&once.to_compact_string()).unwrap();
+            assert_eq!(once.to_compact_string(), twice.to_compact_string(), "string fixed point");
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_their_floatness() {
+        // 2.0 must not collapse into the integer 2 across a round trip.
+        let text = Json::Num(2.0).to_compact_string();
+        assert_eq!(text, "2.0");
+        assert_eq!(Json::parse(&text).unwrap(), Json::Num(2.0));
+    }
+
+    #[test]
+    fn large_u64_counters_survive() {
+        let v = (1u64 << 53) + 1; // would lose precision as f64
+        let j = v.to_json();
+        assert_eq!(u64::from_json(&Json::parse(&j.to_compact_string()).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_matches_serde_style() {
+        let j = Json::obj(vec![
+            ("a".to_string(), Json::Int(1)),
+            ("b".to_string(), Json::Arr(vec![Json::Int(2)])),
+        ]);
+        assert_eq!(j.to_pretty_string(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+        assert_eq!(Json::Arr(vec![]).to_pretty_string(), "[]");
+    }
+
+    #[test]
+    fn struct_macros_round_trip() {
+        #[derive(Debug, PartialEq)]
+        struct Sample {
+            name: String,
+            count: u64,
+            static_: f64,
+        }
+        impl_to_json_struct!(Sample { name, count, static_ });
+        impl_from_json_struct!(Sample { name, count, static_ });
+        let s = Sample {
+            name: "x".to_string(),
+            count: 9,
+            static_: 1.5,
+        };
+        let j = s.to_json();
+        // Trailing underscore (raw-keyword style) is stripped in keys.
+        assert_eq!(j.keys(), vec!["name", "count", "static"]);
+        assert_eq!(Sample::from_json(&j).unwrap(), s);
+        assert!(Sample::from_json(&Json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn nan_serializes_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_compact_string(), "null");
+    }
+}

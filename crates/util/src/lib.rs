@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # catnap-util
+//!
+//! Zero-dependency support library for the Catnap reproduction. The
+//! whole workspace builds offline from a cold cargo cache: everything
+//! the simulator previously pulled from crates.io (`rand`, `serde`,
+//! `serde_json`, `proptest`, `criterion`) is replaced by the three
+//! small modules here.
+//!
+//! * [`rng`] — [`SimRng`](rng::SimRng), a seedable xoshiro256\*\*
+//!   generator with SplitMix64 seeding, uniform ranges, shuffling, and
+//!   independent named streams for decorrelated simulation components.
+//! * [`json`] — a minimal JSON value type with a serializer, a parser,
+//!   and [`ToJson`](json::ToJson)/[`FromJson`](json::FromJson) traits
+//!   used by the trace format and the benchmark output files.
+//! * [`check`] — a mini property-testing runner: N seeded cases over
+//!   `SimRng`-driven generators, failing-seed reporting, and
+//!   shrink-by-halving.
+
+pub mod check;
+pub mod json;
+pub mod rng;
+
+pub use check::Checker;
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::SimRng;

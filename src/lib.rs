@@ -17,6 +17,8 @@
 //!   subnet-selection, regional congestion detection and power gating.
 //! * [`multicore`] — closed-loop many-core substrate (cores, caches, MESI
 //!   directory coherence, memory controllers).
+//! * [`util`] — zero-dependency support library (seedable RNG, minimal
+//!   JSON, mini property-testing runner) keeping the build hermetic.
 //!
 //! ## Quickstart
 //!
@@ -47,3 +49,4 @@ pub use catnap_multicore as multicore;
 pub use catnap_noc as noc;
 pub use catnap_power as power;
 pub use catnap_traffic as traffic;
+pub use catnap_util as util;

@@ -1,7 +1,16 @@
 //! Reproducibility: identical seeds give identical simulations, for both
-//! open-loop synthetic runs and the closed-loop multicore system.
+//! open-loop synthetic runs and the closed-loop multicore system — plus
+//! pinned golden fingerprints per selector × gating combination.
+//!
+//! The goldens pin the exact behaviour of the in-tree [`SimRng`] streams;
+//! any change to the RNG, the selection policy, or the router pipeline
+//! shows up as a changed tuple. To re-pin after an intentional change,
+//! run with `CATNAP_PRINT_GOLDENS=1` and copy the printed tuples (see
+//! DESIGN.md, "Re-pinning determinism goldens").
+//!
+//! [`SimRng`]: catnap_repro::util::SimRng
 
-use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
+use catnap_repro::catnap::{MultiNoc, MultiNocConfig, SelectorKind};
 use catnap_repro::multicore::{System, SystemConfig};
 use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
 
@@ -52,6 +61,62 @@ fn closed_loop_runs_reproducible() {
 #[test]
 fn closed_loop_runs_differ_across_seeds() {
     assert_ne!(system_fingerprint(33), system_fingerprint(34));
+}
+
+/// Fixed-seed fingerprint for the golden tests: uniform-random load at
+/// 0.08 packets/node/cycle on the paper's 4NT-128b design.
+fn golden_fingerprint(selector: SelectorKind, gating: bool) -> (u64, u64, u64) {
+    let cfg = MultiNocConfig::catnap_4x128().selector(selector).gating(gating).seed(7);
+    let mut net = MultiNoc::new(cfg);
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.08, 512, net.dims(), 7);
+    for _ in 0..1_500 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let snap = net.snapshot();
+    let report = net.finish();
+    (report.packets_delivered, snap.latency_sum, snap.or_switch_events)
+}
+
+/// Asserts a pinned `(packets_delivered, latency_sum, or_switch_events)`
+/// tuple, or prints the observed one under `CATNAP_PRINT_GOLDENS=1`.
+fn assert_golden(selector: SelectorKind, gating: bool, want: (u64, u64, u64)) {
+    let got = golden_fingerprint(selector, gating);
+    if std::env::var_os("CATNAP_PRINT_GOLDENS").is_some() {
+        println!("golden {selector:?} gating={gating}: {got:?}");
+        return;
+    }
+    assert_eq!(got, want, "golden fingerprint changed for {selector:?} gating={gating}");
+}
+
+#[test]
+fn golden_round_robin_gated() {
+    assert_golden(SelectorKind::RoundRobin, true, (7416, 290007, 325));
+}
+
+#[test]
+fn golden_round_robin_ungated() {
+    assert_golden(SelectorKind::RoundRobin, false, (7502, 167583, 0));
+}
+
+#[test]
+fn golden_random_gated() {
+    assert_golden(SelectorKind::Random, true, (7430, 288557, 331));
+}
+
+#[test]
+fn golden_random_ungated() {
+    assert_golden(SelectorKind::Random, false, (7504, 168413, 0));
+}
+
+#[test]
+fn golden_catnap_priority_gated() {
+    assert_golden(SelectorKind::CatnapPriority, true, (7443, 248092, 222));
+}
+
+#[test]
+fn golden_catnap_priority_ungated() {
+    assert_golden(SelectorKind::CatnapPriority, false, (7447, 225011, 99));
 }
 
 #[test]

@@ -3,6 +3,7 @@
 //! hold; subnet 0 is never gated under the Catnap policy.
 
 use catnap_repro::catnap::{GatingPolicy, MultiNoc, MultiNocConfig};
+use catnap_repro::noc::{MeshDims, Network, NetworkConfig, NodeId};
 use catnap_repro::traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload};
 
 #[test]
@@ -116,6 +117,46 @@ fn burst_after_deep_sleep_is_fully_absorbed() {
     let report = net.finish();
     assert_eq!(report.packets_generated, report.packets_delivered);
     assert!(report.sleep_transitions > 0);
+}
+
+#[test]
+fn packet_injected_at_sleep_transition_is_still_delivered() {
+    // Regression for the stranded-packet edge in the router wake path:
+    // a packet whose head flit starts toward a router in the SAME cycle
+    // that router enters sleep must still be delivered. Two mechanisms
+    // cooperate: the allocator re-issues its one-shot wake ping while a
+    // wormhole stays open toward a sleeping neighbour, and a freshly
+    // woken router resets `idle_cycles` so an eager gating controller
+    // cannot re-gate it before the in-flight flit lands.
+    let mut net = Network::new(
+        NetworkConfig::with_width(128).dims(MeshDims::new(4, 4)).gating_enabled(true),
+    );
+    // Idle out, then inject a corner-to-corner packet and, in the same
+    // pre-step instant, gate every router on (and off) its path.
+    for _ in 0..10 {
+        net.step();
+    }
+    let flit = net.make_single_flit_packet(NodeId(0), NodeId(15), net.cycle());
+    assert!(net.try_inject_flit(NodeId(0), 0, flit));
+    for node in net.dims().nodes() {
+        net.request_sleep(node); // refused where the guard says no
+    }
+    let (_, sleeping, _) = net.power_state_census();
+    assert!(sleeping >= 14, "nearly all routers should gate at the transition instant, got {sleeping}");
+    // Run with a maximally eager controller: every cycle, re-gate any
+    // router the guard allows. Without the idle-reset-on-wake fix this
+    // re-gates just-woken routers and strands the packet forever.
+    let mut ejected = Vec::new();
+    for _ in 0..400 {
+        net.step();
+        ejected.extend(net.drain_ejected());
+        for node in net.dims().nodes() {
+            net.request_sleep(node);
+        }
+    }
+    assert_eq!(ejected.len(), 1, "packet stranded by sleep transition");
+    assert_eq!(ejected[0].0, NodeId(15));
+    assert_eq!(net.stats().flits_ejected, net.stats().flits_injected);
 }
 
 #[test]

@@ -1,0 +1,124 @@
+//! Hermetic-build guard: the workspace must stay free of registry (and
+//! git) dependencies so `cargo build --offline` works from a cold cargo
+//! cache. This test fails the suite if any manifest or the lockfile
+//! reacquires a non-path dependency.
+//!
+//! The scan is deliberately line-based rather than a TOML parse — the
+//! manifests are simple, and a parser would itself be a dependency.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// All Cargo.toml files in the workspace (root + crates/*).
+fn manifests() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut out = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ directory") {
+        let dir = entry.expect("dir entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(out.len() >= 7, "expected root + >=6 crate manifests, found {}", out.len());
+    out
+}
+
+/// Collects dependency lines from every `[...dependencies]` section of a
+/// manifest, returning `(line_number, line)` for entries that are not
+/// plainly path-based.
+fn non_path_deps(manifest: &Path) -> Vec<(usize, String)> {
+    let text = fs::read_to_string(manifest).expect("read manifest");
+    let mut in_deps = false;
+    let mut bad = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // [dependencies], [dev-dependencies], [build-dependencies],
+            // [workspace.dependencies], [target.'...'.dependencies]
+            in_deps = line.trim_end_matches(']').ends_with("dependencies");
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Acceptable forms:
+        //   name = { path = "..." }          (workspace table)
+        //   name.workspace = true            (member manifests)
+        //   name = { workspace = true }
+        let ok = line.contains("path =")
+            || line.contains("path=")
+            || line.contains("workspace = true")
+            || line.contains("workspace=true");
+        if !ok {
+            bad.push((i + 1, raw.to_string()));
+        }
+    }
+    bad
+}
+
+#[test]
+fn manifests_declare_only_path_dependencies() {
+    for manifest in manifests() {
+        let bad = non_path_deps(&manifest);
+        assert!(
+            bad.is_empty(),
+            "non-path dependencies in {}:\n{}",
+            manifest.display(),
+            bad.iter().map(|(n, l)| format!("  line {n}: {l}")).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
+
+#[test]
+fn lockfile_has_no_registry_packages() {
+    let lock = fs::read_to_string(repo_root().join("Cargo.lock")).expect("read Cargo.lock");
+    let mut offenders = Vec::new();
+    let mut current = String::new();
+    for line in lock.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name = ") {
+            current = rest.trim_matches('"').to_string();
+        }
+        // Path-local packages carry no `source`; registry and git
+        // packages do. `checksum` likewise only appears for registry
+        // downloads.
+        if line.starts_with("source = ") || line.starts_with("checksum = ") {
+            offenders.push(format!("{current}: {line}"));
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "Cargo.lock references non-path packages:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
+#[test]
+fn lockfile_covers_exactly_the_workspace_crates() {
+    let lock = fs::read_to_string(repo_root().join("Cargo.lock")).expect("read Cargo.lock");
+    let mut names: Vec<&str> = lock
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("name = "))
+        .map(|n| n.trim_matches('"'))
+        .collect();
+    names.sort_unstable();
+    assert_eq!(
+        names,
+        [
+            "catnap",
+            "catnap-bench",
+            "catnap-multicore",
+            "catnap-noc",
+            "catnap-power",
+            "catnap-repro",
+            "catnap-traffic",
+            "catnap-util",
+        ],
+        "lockfile package set drifted from the workspace members"
+    );
+}

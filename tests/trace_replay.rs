@@ -3,7 +3,7 @@
 //! the methodology the paper uses for fair cross-design comparisons.
 
 use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
-use catnap_repro::traffic::generator::{CollectSink, PacketSink};
+use catnap_repro::traffic::generator::CollectSink;
 use catnap_repro::traffic::trace::{read_trace, write_trace, TracePlayer, TraceRecord};
 use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload};
 
