@@ -5,6 +5,7 @@ use catnap_multicore::{System, SystemConfig, SystemReport};
 use catnap_power::TechParams;
 use catnap_traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
 use catnap_util::impl_to_json_struct;
+use catnap_util::pool::{effective_parallelism, ThreadPool};
 
 /// One point of a synthetic-traffic measurement.
 #[derive(Clone, Debug)]
@@ -74,6 +75,11 @@ pub fn run_synthetic(
 }
 
 /// Latency/throughput sweep over offered loads.
+///
+/// Sweep points are independent simulations, so they fan out across a
+/// thread pool (respecting the `CATNAP_THREADS` override); results come
+/// back in load order, and each point is a deterministic function of its
+/// inputs, so the output is identical to the serial sweep.
 pub fn latency_sweep(
     cfg: &MultiNocConfig,
     pattern: SyntheticPattern,
@@ -83,10 +89,18 @@ pub fn latency_sweep(
     measure: u64,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    loads
+    // Each worker runs one whole simulation; nested subnet-parallelism
+    // inside a point would only oversubscribe the machine.
+    let point_cfg = cfg.clone().step_threads(1);
+    let pool = ThreadPool::new(effective_parallelism(loads.len()));
+    let jobs: Vec<_> = loads
         .iter()
-        .map(|&l| run_synthetic(cfg.clone(), pattern, l, packet_bits, warmup, measure, seed))
-        .collect()
+        .map(|&l| {
+            let cfg = point_cfg.clone();
+            move || run_synthetic(cfg, pattern, l, packet_bits, warmup, measure, seed)
+        })
+        .collect();
+    pool.run(jobs)
 }
 
 /// Result of a closed-loop multiprogrammed run.

@@ -74,6 +74,12 @@ pub struct MultiNocConfig {
     pub freq_hz: f64,
     /// RNG seed (random selector).
     pub seed: u64,
+    /// Worker lanes for stepping the subnets in parallel. `None` picks
+    /// the `CATNAP_THREADS` override, else the machine parallelism,
+    /// capped at the subnet count; `Some(1)` forces strictly serial
+    /// stepping. Results are bit-identical regardless — the subnets only
+    /// interact through the NIs at cycle boundaries.
+    pub step_threads: Option<usize>,
 }
 
 impl MultiNocConfig {
@@ -100,6 +106,7 @@ impl MultiNocConfig {
             vdd,
             freq_hz: 2.0e9,
             seed: 0xCA7,
+            step_threads: None,
         }
     }
 
@@ -211,6 +218,13 @@ impl MultiNocConfig {
         self
     }
 
+    /// Builder-style: pins the subnet-stepping parallelism (`1` =
+    /// strictly serial; see [`MultiNocConfig::step_threads`]).
+    pub fn step_threads(mut self, threads: usize) -> Self {
+        self.step_threads = Some(threads);
+        self
+    }
+
     /// Builder-style: renames the configuration.
     pub fn named(mut self, name: &str) -> Self {
         self.name = name.to_string();
@@ -256,6 +270,9 @@ impl MultiNocConfig {
         }
         if !(0.1..=1.5).contains(&self.vdd) {
             return Err(format!("implausible vdd {}", self.vdd));
+        }
+        if self.step_threads == Some(0) {
+            return Err("step_threads must be at least 1".into());
         }
         Ok(())
     }

@@ -9,8 +9,9 @@ use crate::rcs::OrNetwork;
 use crate::select::{CatnapPriority, RandomSelect, RoundRobin, SubnetSelector};
 use catnap_noc::power_state::WakeReason;
 use catnap_noc::stats::{GatingActivity, RouterActivity};
-use catnap_noc::{MeshDims, Network, NodeId, PacketDescriptor, RegionMap};
+use catnap_noc::{Flit, MeshDims, Network, NodeId, PacketDescriptor, RegionMap};
 use catnap_traffic::generator::PacketSink;
+use catnap_util::pool::{effective_parallelism, ThreadPool};
 
 use crate::gating::GatingPolicy;
 
@@ -40,6 +41,13 @@ pub struct MultiNoc {
     track_deliveries: bool,
     /// Cycles each node's NI-queue head has waited behind a busy slot.
     head_wait: Vec<u32>,
+    /// Pool stepping the subnets in parallel; `None` = strictly serial.
+    pool: Option<ThreadPool>,
+    /// Reusable buffer for per-subnet ejection drains (no per-cycle
+    /// allocation).
+    eject_buf: Vec<(NodeId, Flit)>,
+    /// Reusable per-subnet congestion mask handed to the selector.
+    congested_buf: Vec<bool>,
 }
 
 impl MultiNoc {
@@ -73,6 +81,13 @@ impl MultiNoc {
             SelectorKind::Random => Box::new(RandomSelect::new(cfg.seed)),
             SelectorKind::CatnapPriority => Box::new(CatnapPriority::new(nodes)),
         };
+        // Subnets only interact through the NIs between steps, so they
+        // can advance concurrently with bit-identical results. One lane
+        // (explicit `step_threads(1)`, CATNAP_THREADS=1, a single-core
+        // machine, or a single subnet) means no pool at all: the plain
+        // serial loop.
+        let lanes = cfg.step_threads.unwrap_or_else(|| effective_parallelism(k)).min(k);
+        let pool = (lanes > 1).then(|| ThreadPool::new(lanes));
         MultiNoc {
             subnets,
             nis,
@@ -91,7 +106,24 @@ impl MultiNoc {
             delivered_tails: Vec::new(),
             track_deliveries: false,
             head_wait: vec![0; nodes],
+            pool,
+            eject_buf: Vec::new(),
+            congested_buf: Vec::with_capacity(k),
             cfg,
+        }
+    }
+
+    /// Lanes used to step the subnets (1 = serial).
+    pub fn step_parallelism(&self) -> usize {
+        self.pool.as_ref().map_or(1, ThreadPool::parallelism)
+    }
+
+    /// Disables (or re-enables) the drained-router fast path in every
+    /// subnet (see [`Network::set_force_full_step`]); results are
+    /// bit-identical either way.
+    pub fn set_force_full_step(&mut self, force: bool) {
+        for net in &mut self.subnets {
+            net.set_force_full_step(force);
         }
     }
 
@@ -148,10 +180,12 @@ impl MultiNoc {
                 // buffers cannot reveal).
                 let spill = self.cfg.spill_wait_cycles;
                 let stuck = spill > 0 && self.head_wait[idx] >= spill;
-                let congested: Vec<bool> = (0..k)
-                    .map(|s| self.congestion_view(s, node) || (stuck && !self.nis[idx].slot_free(s)))
-                    .collect();
-                let s = self.selector.select(idx, &congested);
+                self.congested_buf.clear();
+                for s in 0..k {
+                    let c = self.congestion_view(s, node) || (stuck && !self.nis[idx].slot_free(s));
+                    self.congested_buf.push(c);
+                }
+                let s = self.selector.select(idx, &self.congested_buf);
                 if self.nis[idx].slot_free(s) {
                     self.nis[idx].start_head_packet(s);
                     self.head_wait[idx] = 0;
@@ -204,14 +238,27 @@ impl MultiNoc {
         }
 
         // --- Step every subnet ---
-        for net in &mut self.subnets {
-            net.step();
+        // Each `Network::step` is self-contained (no cross-subnet state,
+        // no RNG), so stepping the K subnets on the pool is bit-identical
+        // to the serial loop; all cross-subnet coupling (NIs, policies,
+        // detectors, OR networks) happens serially around this point.
+        match &self.pool {
+            Some(pool) => {
+                pool.run(self.subnets.iter_mut().map(|net| move || net.step()).collect());
+            }
+            None => {
+                for net in &mut self.subnets {
+                    net.step();
+                }
+            }
         }
         self.cycle = self.subnets[0].cycle();
 
         // --- Ejection and latency accounting ---
         for s in 0..k {
-            for (_, flit) in self.subnets[s].drain_ejected() {
+            self.eject_buf.clear();
+            self.subnets[s].drain_ejected_into(&mut self.eject_buf);
+            for &(_, flit) in &self.eject_buf {
                 self.ejected_flits_per_subnet[s] += 1;
                 self.delivered_flits += 1;
                 if flit.kind.is_tail() {

@@ -109,6 +109,19 @@ impl Port {
         Port::ALL[idx]
     }
 
+    /// The port a neighbour receives through when we send out of this
+    /// port (mesh ports swap to their opposite; the local port maps to
+    /// itself).
+    pub fn opposite(self) -> Port {
+        match self {
+            Port::North => Port::South,
+            Port::East => Port::West,
+            Port::South => Port::North,
+            Port::West => Port::East,
+            Port::Local => Port::Local,
+        }
+    }
+
     /// The mesh direction of this port, or `None` for the local port.
     pub fn direction(self) -> Option<Direction> {
         match self {
@@ -388,6 +401,17 @@ mod tests {
     fn port_index_roundtrip() {
         for p in Port::ALL {
             assert_eq!(Port::from_index(p.index()), p);
+        }
+    }
+
+    #[test]
+    fn port_opposite_matches_direction_opposite() {
+        for p in Port::ALL {
+            assert_eq!(p.opposite().opposite(), p);
+            match p.direction() {
+                Some(d) => assert_eq!(p.opposite(), Port::from(d.opposite())),
+                None => assert_eq!(p.opposite(), Port::Local),
+            }
         }
     }
 

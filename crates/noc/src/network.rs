@@ -34,7 +34,23 @@ pub struct Network {
     next_packet_id: u64,
     /// Scratch buffer reused across router steps.
     scratch: RouterOutput,
+    /// Precomputed adjacency: `adj[idx][p]` is the router index across
+    /// mesh port `p` of router `idx`, or [`NO_NEIGHBOR`] at a mesh edge
+    /// (and always for the local port).
+    adj: Vec<[usize; NUM_PORTS]>,
+    /// Precomputed X-Y routes, indexed `[at * num_nodes + dst]`.
+    route_lut: Vec<Port>,
+    /// In-flight flits per `(router idx, input port)`, flattened: counts
+    /// entries of `link_stage` plus `staged_flits` headed to that input,
+    /// so the sleep guards need no linear scan.
+    inflight: Vec<u32>,
+    /// Disables the drained-router fast path so every router runs the
+    /// full `step` each cycle (perf baseline; results are identical).
+    force_full_step: bool,
 }
+
+/// Marker in the adjacency table for "no link in this direction".
+const NO_NEIGHBOR: usize = usize::MAX;
 
 impl Network {
     /// Builds a network from a validated configuration.
@@ -73,6 +89,25 @@ impl Network {
                 router
             })
             .collect();
+        let n = dims.num_nodes();
+        let adj = dims
+            .nodes()
+            .map(|node| {
+                let mut row = [NO_NEIGHBOR; NUM_PORTS];
+                for dir in crate::geometry::Direction::ALL {
+                    if let Some(nbr) = dims.neighbor(node, dir) {
+                        row[Port::from(dir).index()] = nbr.index();
+                    }
+                }
+                row
+            })
+            .collect();
+        let mut route_lut = Vec::with_capacity(n * n);
+        for at in dims.nodes() {
+            for dst in dims.nodes() {
+                route_lut.push(dims.xy_route(at, dst));
+            }
+        }
         Network {
             cfg,
             routers,
@@ -84,6 +119,10 @@ impl Network {
             cycle: 0,
             next_packet_id: 0,
             scratch: RouterOutput::default(),
+            adj,
+            route_lut,
+            inflight: vec![0; n * NUM_PORTS],
+            force_full_step: false,
         }
     }
 
@@ -146,7 +185,15 @@ impl Network {
     /// The X-Y route output port for a packet at `at` headed to `dst`
     /// (used by NIs to set the look-ahead field at injection).
     pub fn route_at(&self, at: NodeId, dst: NodeId) -> Port {
-        self.cfg.dims.xy_route(at, dst)
+        self.route_lut[at.index() * self.cfg.dims.num_nodes() + dst.index()]
+    }
+
+    /// Disables (or re-enables) the drained-router fast path in
+    /// [`Network::step`]. Results are bit-identical either way; forcing
+    /// the full step exists so benchmarks can measure the speedup of the
+    /// fast path against the naive walk-everything loop.
+    pub fn set_force_full_step(&mut self, force: bool) {
+        self.force_full_step = force;
     }
 
     /// Whether `node` can accept NI injections right now (its router and,
@@ -186,19 +233,27 @@ impl Network {
             return false;
         }
         // No in-flight flits on links towards this node.
-        if self
-            .staged_flits
-            .iter()
-            .chain(self.link_stage.iter())
-            .any(|(idx, _, _)| *idx == node.index())
-        {
+        let base = node.index() * NUM_PORTS;
+        debug_assert_eq!(
+            self.inflight[base..base + NUM_PORTS].iter().map(|&c| c as usize).sum::<usize>(),
+            self.staged_flits
+                .iter()
+                .chain(self.link_stage.iter())
+                .filter(|(idx, _, _)| *idx == node.index())
+                .count(),
+            "in-flight counters out of sync at {node}"
+        );
+        if self.inflight[base..base + NUM_PORTS].iter().any(|&c| c > 0) {
             return false;
         }
         // No neighbour with an open wormhole or crossbar flit towards us.
-        for dir in crate::geometry::Direction::ALL {
-            let Some(nbr) = self.cfg.dims.neighbor(node, dir) else { continue };
-            let towards_us = Port::from(dir.opposite());
-            let nr = &self.routers[nbr.index()];
+        for port in [Port::North, Port::East, Port::South, Port::West] {
+            let nbr = self.adj[node.index()][port.index()];
+            if nbr == NO_NEIGHBOR {
+                continue;
+            }
+            let towards_us = port.opposite();
+            let nr = &self.routers[nbr];
             if nr.outbound_binding_ports()[towards_us.index()] || nr.xbar_holds_toward(towards_us) {
                 return false;
             }
@@ -230,18 +285,23 @@ impl Network {
         if !router.port_sleep_guard_ok(port) {
             return false;
         }
-        if self
-            .staged_flits
-            .iter()
-            .chain(self.link_stage.iter())
-            .any(|(idx, p, _)| *idx == node.index() && *p == port)
-        {
+        debug_assert_eq!(
+            self.inflight[node.index() * NUM_PORTS + port.index()] as usize,
+            self.staged_flits
+                .iter()
+                .chain(self.link_stage.iter())
+                .filter(|(idx, p, _)| *idx == node.index() && *p == port)
+                .count(),
+            "in-flight counter out of sync at {node}:{port}"
+        );
+        if self.inflight[node.index() * NUM_PORTS + port.index()] > 0 {
             return false;
         }
-        if let Some(dir) = port.direction() {
-            if let Some(upstream) = self.cfg.dims.neighbor(node, dir) {
-                let towards_us = Port::from(dir.opposite());
-                let ur = &self.routers[upstream.index()];
+        if port != Port::Local {
+            let upstream = self.adj[node.index()][port.index()];
+            if upstream != NO_NEIGHBOR {
+                let towards_us = port.opposite();
+                let ur = &self.routers[upstream];
                 if ur.outbound_binding_ports()[towards_us.index()] || ur.xbar_holds_toward(towards_us) {
                     return false;
                 }
@@ -267,6 +327,14 @@ impl Network {
         std::mem::take(&mut self.ejected)
     }
 
+    /// Appends the flits ejected during the most recent step to `buf`,
+    /// leaving the internal ejection buffer empty but with its capacity
+    /// intact. Allocation-free steady state, unlike
+    /// [`Network::drain_ejected`].
+    pub fn drain_ejected_into(&mut self, buf: &mut Vec<(NodeId, Flit)>) {
+        buf.append(&mut self.ejected);
+    }
+
     /// Advances the network by one cycle.
     pub fn step(&mut self) {
         self.cycle += 1;
@@ -274,32 +342,56 @@ impl Network {
 
         // Phase 1: deliver flits that completed their link cycle, and
         // advance flits leaving crossbars onto the link.
-        let staged_flits = std::mem::take(&mut self.staged_flits);
-        for (idx, port, flit) in staged_flits {
+        let mut delivered = std::mem::take(&mut self.staged_flits);
+        for &(idx, port, flit) in &delivered {
+            self.inflight[idx * NUM_PORTS + port.index()] -= 1;
             let node = self.routers[idx].node();
             if let Some(ping_dir) = self.routers[idx].deliver(port, flit) {
                 self.wake_neighbor(node, ping_dir);
             }
         }
-        self.staged_flits = std::mem::take(&mut self.link_stage);
-        let staged_credits = std::mem::take(&mut self.staged_credits);
-        for (idx, port, vc) in staged_credits {
+        // Rotate buffers so their capacity is reused: flits placed on
+        // links last cycle are now in transit, and the consumed vector
+        // becomes the empty backing store for this cycle's link pushes.
+        delivered.clear();
+        self.staged_flits = std::mem::replace(&mut self.link_stage, delivered);
+        let mut credits = std::mem::take(&mut self.staged_credits);
+        for &(idx, port, vc) in &credits {
             self.routers[idx].return_credit(port, vc);
         }
+        credits.clear();
+        self.staged_credits = credits;
 
         // Phase 2: step every router; collect outputs into fresh staging.
-        let dims = self.cfg.dims;
+        //
+        // Fast path: a drained router (no buffered flits, empty crossbar
+        // register) cannot allocate, traverse, eject, or emit credits or
+        // wake pings — its `step` reduces to advancing the idle counters
+        // and power-state machines, which `idle_tick` does without ever
+        // reading neighbour state. Skipping the full step for such
+        // routers is therefore invisible to every observable (goldens,
+        // residency counters, activity counters); at light load with
+        // gating, the per-cycle cost drops roughly with the fraction of
+        // sleeping/idle routers — the simulation-speed analogue of the
+        // paper's energy proportionality.
+        let n = self.cfg.dims.num_nodes();
+        let force_full = self.force_full_step;
         for idx in 0..self.routers.len() {
+            if !force_full && self.routers[idx].is_drained() {
+                self.routers[idx].idle_tick();
+                continue;
+            }
+            let adj = self.adj[idx];
             let node = self.routers[idx].node();
             // Snapshot which neighbours can accept flits this cycle: the
             // downstream router must be active and (with port gating) so
             // must the specific input port our link feeds.
             let mut neighbor_active = [true; NUM_PORTS];
-            for dir in crate::geometry::Direction::ALL {
-                let p = Port::from(dir).index();
-                neighbor_active[p] = match dims.neighbor(node, dir) {
-                    Some(n) => self.routers[n.index()].port_active(Port::from(dir.opposite())),
-                    None => false,
+            for port in [Port::North, Port::East, Port::South, Port::West] {
+                let pi = port.index();
+                neighbor_active[pi] = match adj[pi] {
+                    NO_NEIGHBOR => false,
+                    nbr => self.routers[nbr].port_active(port.opposite()),
                 };
             }
 
@@ -307,21 +399,24 @@ impl Network {
             self.routers[idx].step(&neighbor_active, &mut out);
 
             for ob in &out.outbound {
-                let dir = ob.out_port.direction().expect("outbound flits use mesh ports");
-                let nbr = dims.neighbor(node, dir).expect("link to nowhere");
-                let in_port = Port::from(dir.opposite());
+                let opi = ob.out_port.index();
+                let nbr = adj[opi];
+                debug_assert!(nbr != NO_NEIGHBOR, "link to nowhere");
+                let in_port = ob.out_port.opposite();
                 let mut flit = ob.flit;
                 // Look-ahead routing: compute the output port at the next
                 // router before the flit arrives there.
-                flit.lookahead = dims.xy_route(nbr, flit.dst);
-                self.link_stage.push((nbr.index(), in_port, flit));
+                flit.lookahead = self.route_lut[nbr * n + flit.dst.index()];
+                self.inflight[nbr * NUM_PORTS + in_port.index()] += 1;
+                self.link_stage.push((nbr, in_port, flit));
             }
             for cr in &out.credits {
-                let dir = cr.in_port.direction().expect("local credits are not returned");
-                let upstream = dims.neighbor(node, dir).expect("credit to nowhere");
+                let ipi = cr.in_port.index();
+                let upstream = adj[ipi];
+                debug_assert!(upstream != NO_NEIGHBOR, "credit to nowhere");
                 // The upstream router's output port towards us.
-                let up_out = Port::from(dir.opposite());
-                self.staged_credits.push((upstream.index(), up_out, cr.vc));
+                let up_out = cr.in_port.opposite();
+                self.staged_credits.push((upstream, up_out, cr.vc));
             }
             for flit in out.ejected.drain(..) {
                 self.record_ejection(node, flit);
@@ -395,22 +490,11 @@ impl Network {
     }
 
     /// Total flits currently buffered, in flight, or in crossbar registers
-    /// (for conservation checks in tests).
+    /// (for conservation checks in tests). Single pass over the routers,
+    /// reading each one's occupancy counter.
     pub fn flits_in_network(&self) -> usize {
-        let buffered: usize = self
-            .cfg
-            .dims
-            .nodes()
-            .map(|n| {
-                Port::ALL
-                    .iter()
-                    .map(|&p| self.router(n).port_occupancy(p))
-                    .sum::<usize>()
-            })
-            .sum();
-        let staged = self.staged_flits.len() + self.link_stage.len();
-        let xbar: usize = self.routers.iter().map(Router::xbar_len).sum();
-        buffered + staged + xbar
+        let in_routers: usize = self.routers.iter().map(Router::occupancy).sum();
+        in_routers + self.staged_flits.len() + self.link_stage.len()
     }
 
     /// Closes out gating accounting (call once at the end of a run before

@@ -104,6 +104,11 @@ pub struct Router {
     /// granularity only.
     port_psm: Option<Vec<PowerStateMachine>>,
     port_idle: [u32; NUM_PORTS],
+    /// Total flits currently buffered across all input VCs (kept in sync
+    /// by `deliver`/`allocate` so drain checks are O(1)).
+    buffered: u32,
+    /// Flits buffered per input port (same invariant, per port).
+    port_occ: [u32; NUM_PORTS],
     /// Event counters for the power model.
     pub activity: RouterActivity,
 }
@@ -144,6 +149,8 @@ impl Router {
             t_breakeven,
             port_psm: None,
             port_idle: [0; NUM_PORTS],
+            buffered: 0,
+            port_occ: [0; NUM_PORTS],
             activity: RouterActivity::default(),
         }
     }
@@ -248,7 +255,7 @@ impl Router {
 
     /// Total flits buffered at one input port (across its VCs).
     pub fn port_occupancy(&self, port: Port) -> usize {
-        (0..self.vcs).map(|v| self.input(port, v).len()).sum()
+        self.port_occ[port.index()] as usize
     }
 
     /// Maximum input-port occupancy, in flits: the paper's **BFM** local
@@ -281,7 +288,19 @@ impl Router {
 
     /// Whether all input buffers and the crossbar register are empty.
     pub fn is_drained(&self) -> bool {
-        self.xbar_reg.is_empty() && self.inputs.iter().all(InputVc::is_empty)
+        debug_assert_eq!(
+            self.buffered as usize,
+            self.inputs.iter().map(InputVc::len).sum::<usize>(),
+            "buffered-flit counter out of sync at {}",
+            self.node
+        );
+        self.buffered == 0 && self.xbar_reg.is_empty()
+    }
+
+    /// Flits currently inside the router (input buffers plus the crossbar
+    /// pipeline register).
+    pub fn occupancy(&self) -> usize {
+        self.buffered as usize + self.xbar_reg.len()
     }
 
     /// Whether the buffer-empty condition has held for `t_idle_detect`
@@ -328,6 +347,8 @@ impl Router {
         assert!(vc < self.vcs, "flit VC out of range");
         let ping = (flit.kind.is_head() && flit.lookahead != Port::Local).then_some(flit.lookahead);
         self.input_mut(port, vc).push(flit);
+        self.buffered += 1;
+        self.port_occ[port.index()] += 1;
         self.activity.buffer_writes += 1;
         self.idle_cycles = 0;
         self.port_idle[port.index()] = 0;
@@ -387,9 +408,8 @@ impl Router {
             } else {
                 self.idle_cycles = 0;
             }
-            for port in Port::ALL {
-                let pi = port.index();
-                if (0..self.vcs).all(|v| self.input(port, v).is_empty()) {
+            for pi in 0..NUM_PORTS {
+                if self.port_occ[pi] == 0 {
                     self.port_idle[pi] = self.port_idle[pi].saturating_add(1);
                 } else {
                     self.port_idle[pi] = 0;
@@ -403,6 +423,36 @@ impl Router {
             // in-flight flit that caused the wake-up to arrive; otherwise
             // an eager gating controller could re-gate it instantly and
             // strand the packet (the wake ping is one-shot).
+            self.idle_cycles = 0;
+        }
+        if let Some(psms) = &mut self.port_psm {
+            for (i, p) in psms.iter_mut().enumerate() {
+                let was = p.state().is_active();
+                p.tick();
+                if !was && p.state().is_active() {
+                    self.port_idle[i] = 0;
+                }
+            }
+        }
+    }
+
+    /// One cycle of a **drained** router, equivalent to [`Router::step`]
+    /// with empty buffers and an empty crossbar register: no allocation or
+    /// traversal work can happen, so only the idle counters and the
+    /// power-state machines advance, and no outputs are produced. Never
+    /// reads neighbour state, which is what lets the network skip drained
+    /// routers without computing their `neighbor_active` masks.
+    pub fn idle_tick(&mut self) {
+        debug_assert!(self.is_drained(), "idle_tick on a non-drained router {}", self.node);
+        if self.psm.state().is_active() {
+            self.idle_cycles = self.idle_cycles.saturating_add(1);
+            for pi in 0..NUM_PORTS {
+                self.port_idle[pi] = self.port_idle[pi].saturating_add(1);
+            }
+        }
+        let was_active = self.psm.state().is_active();
+        self.psm.tick();
+        if !was_active && self.psm.state().is_active() {
             self.idle_cycles = 0;
         }
         if let Some(psms) = &mut self.port_psm {
@@ -540,6 +590,8 @@ impl Router {
             grants += 1;
             self.in_rr[pi] = (vc + 1) % self.vcs;
             let mut flit = self.input_mut(in_port, vc).pop().expect("granted VC must be non-empty");
+            self.buffered -= 1;
+            self.port_occ[pi] -= 1;
             self.activity.buffer_reads += 1;
             flit.vc = binding.out_vc;
             let opi = binding.out_port.index();

@@ -17,11 +17,16 @@
 //! * [`check`] — a mini property-testing runner: N seeded cases over
 //!   `SimRng`-driven generators, failing-seed reporting, and
 //!   shrink-by-halving.
+//! * [`pool`] — a scoped thread pool with persistent workers,
+//!   deterministic result ordering, and a serial fallback, used to step
+//!   independent subnets and fan out benchmark sweep points.
 
 pub mod check;
 pub mod json;
+pub mod pool;
 pub mod rng;
 
 pub use check::Checker;
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use pool::ThreadPool;
 pub use rng::SimRng;

@@ -1,0 +1,371 @@
+//! A scoped thread pool built on `std` only, keeping the workspace's
+//! hermetic zero-dependency policy.
+//!
+//! The pool runs batches of closures that may borrow from the caller's
+//! stack (like `std::thread::scope`, but with persistent workers so the
+//! per-batch cost is a queue push + condvar wake rather than thread
+//! creation). [`ThreadPool::run`] returns results **in job-submission
+//! order** regardless of which worker finished first, so parallel fan-out
+//! is deterministic for the caller. The submitting thread participates in
+//! draining the queue, which means a pool built with parallelism 1 (or
+//! the `CATNAP_THREADS=1` serial fallback) executes every job inline, in
+//! order, on the caller — the exact serial semantics, through the same
+//! code path.
+//!
+//! Worker panics are caught, the batch still completes, and the first
+//! panic payload is re-raised on the submitting thread; the pool remains
+//! usable afterwards.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Name of the environment variable overriding worker parallelism
+/// (`1` forces the serial path; unset or unparsable falls back to the
+/// caller's default, typically [`std::thread::available_parallelism`]).
+pub const THREADS_ENV: &str = "CATNAP_THREADS";
+
+/// Parses a `CATNAP_THREADS`-style override. Returns `None` for absent,
+/// empty, unparsable, or zero values (zero threads cannot run anything,
+/// so it is treated as "no override" rather than a deadlock).
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// Reads the [`THREADS_ENV`] override from the process environment.
+pub fn env_threads() -> Option<usize> {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// Effective parallelism for a job that can use up to `max_useful`
+/// lanes: the env override if set, else the machine parallelism, capped
+/// at `max_useful` and floored at 1.
+pub fn effective_parallelism(max_useful: usize) -> usize {
+    let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    env_threads().unwrap_or(machine).min(max_useful).max(1)
+}
+
+/// A job queued for the workers, with the accounting of the batch it
+/// belongs to. The `'static` bound is produced by [`ThreadPool::run`]
+/// erasing the scope lifetime; safety rests on `run` never returning
+/// (normally or by unwind) before every job of its batch has finished.
+struct Job {
+    work: Box<dyn FnOnce() + Send + 'static>,
+    batch: Arc<Batch>,
+}
+
+impl Job {
+    fn execute(self) {
+        let result = catch_unwind(AssertUnwindSafe(self.work));
+        self.batch.complete(result.err());
+    }
+}
+
+/// Completion tracking for one `run` call.
+struct Batch {
+    state: Mutex<BatchState>,
+    done_cv: Condvar,
+}
+
+struct BatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Batch {
+    fn new(jobs: usize) -> Arc<Self> {
+        Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                remaining: jobs,
+                panic: None,
+            }),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().unwrap();
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Blocks until every job of the batch has run, then re-raises the
+    /// first recorded panic, if any.
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.done_cv.wait(st).unwrap();
+        }
+        let panic = st.panic.take();
+        drop(st);
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    work_cv: Condvar,
+}
+
+/// A persistent scoped thread pool (see the module docs).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("parallelism", &self.parallelism()).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with the given total parallelism: `parallelism - 1`
+    /// worker threads are spawned and the thread calling [`ThreadPool::run`]
+    /// acts as the final lane. `parallelism <= 1` spawns no workers at
+    /// all — every job then runs inline on the caller (serial fallback).
+    pub fn new(parallelism: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let workers = (1..parallelism.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("catnap-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Total parallel lanes (workers plus the submitting thread).
+    pub fn parallelism(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs every closure (possibly in parallel) and returns their
+    /// results **in submission order**. Blocks until all jobs finished;
+    /// if any job panicked, the first panic is re-raised here after the
+    /// whole batch has completed (so borrowed data is never observed by
+    /// a still-running job past this call).
+    pub fn run<'scope, T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'scope,
+        F: FnOnce() -> T + Send + 'scope,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 || self.workers.is_empty() {
+            // Serial fast path: identical semantics, no queue round-trip.
+            return jobs.into_iter().map(|f| f()).collect();
+        }
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        let batch = Batch::new(n);
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            for (i, f) in jobs.into_iter().enumerate() {
+                let results = &results;
+                let work: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let value = f();
+                    results.lock().unwrap()[i] = Some(value);
+                });
+                // SAFETY: `Batch::wait` below does not return — normally
+                // or by unwinding — until `remaining == 0`, i.e. until
+                // every closure (and its borrows of `results`/caller
+                // state) has finished running. Erasing the lifetime is
+                // therefore sound: no job outlives this stack frame.
+                let work: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(work) };
+                q.jobs.push_back(Job {
+                    work,
+                    batch: Arc::clone(&batch),
+                });
+            }
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is a worker too: drain the queue before blocking so
+        // small batches complete with no context switch at all.
+        loop {
+            let job = self.shared.queue.lock().unwrap().jobs.pop_front();
+            match job {
+                Some(job) => job.execute(),
+                None => break,
+            }
+        }
+        batch.wait();
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("every pool job stores its result"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            // A worker that panicked outside `catch_unwind` (impossible
+            // for queued jobs) would surface here; ignore the result so
+            // drop never panics.
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work_cv.wait(q).unwrap();
+            }
+        };
+        job.execute();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<_> = (0..64usize)
+            .map(|i| {
+                move || {
+                    // Earlier jobs spin longer, so completion order is
+                    // roughly reversed — results must still be ordered.
+                    let mut acc = 0u64;
+                    for k in 0..(64 - i) * 500 {
+                        acc = acc.wrapping_add(k as u64);
+                    }
+                    std::hint::black_box(acc);
+                    i * i
+                }
+            })
+            .collect();
+        let got = pool.run(jobs);
+        let want: Vec<usize> = (0..64).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn borrows_mutable_slices_disjointly() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0u64; 16];
+        let jobs: Vec<_> = data
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| move || *slot = i as u64 + 1)
+            .collect();
+        pool.run(jobs);
+        assert_eq!(data, (1..=16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn serial_pool_runs_inline_in_order() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.parallelism(), 1);
+        let order = Mutex::new(Vec::new());
+        let jobs: Vec<_> = (0..8usize)
+            .map(|i| {
+                let order = &order;
+                move || {
+                    order.lock().unwrap().push(i);
+                    i
+                }
+            })
+            .collect();
+        let got = pool.run(jobs);
+        assert_eq!(got, (0..8).collect::<Vec<usize>>());
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<usize>>(), "serial path preserves submission order exactly");
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_after_batch_completes() {
+        let pool = ThreadPool::new(4);
+        let completed = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                let completed = &completed;
+                let job: Box<dyn FnOnce() -> usize + Send> = if i == 3 {
+                    Box::new(|| panic!("job 3 exploded"))
+                } else {
+                    Box::new(move || {
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        i
+                    })
+                };
+                job
+            })
+            .collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(jobs)))
+            .expect_err("panic must propagate to the submitter");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "job 3 exploded");
+        assert_eq!(completed.load(Ordering::SeqCst), 7, "non-panicking jobs all ran");
+        // Pool stays healthy after a panic.
+        let again = pool.run(vec![|| 41usize, || 1]);
+        assert_eq!(again, vec![41, 1]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        let got: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("banana")), None);
+        assert_eq!(parse_threads(Some("0")), None, "zero lanes would deadlock; treated as unset");
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn effective_parallelism_is_capped_and_floored() {
+        // Independent of the machine: capping at 1 always yields 1.
+        assert_eq!(effective_parallelism(1), 1);
+        assert!(effective_parallelism(4) >= 1);
+        assert!(effective_parallelism(4) <= 4);
+    }
+}

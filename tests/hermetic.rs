@@ -98,6 +98,43 @@ fn lockfile_has_no_registry_packages() {
     );
 }
 
+/// `catnap-util` is the hermeticity floor of the workspace: every other
+/// crate leans on it precisely so that nothing needs the registry. Its
+/// sources (including the thread pool) must therefore only ever import
+/// `std`/`core`/`alloc` or the crate itself — a `use` of anything else
+/// means a dependency snuck in below the manifest scan's radar.
+#[test]
+fn util_sources_import_only_std() {
+    let src = repo_root().join("crates/util/src");
+    let mut offenders = Vec::new();
+    for entry in fs::read_dir(&src).expect("crates/util/src directory") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("read util source");
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let Some(rest) = line.strip_prefix("use ") else { continue };
+            let root = rest
+                .split(&[':', ';', ' ', '{'][..])
+                .next()
+                .unwrap_or("")
+                .trim();
+            let ok = matches!(root, "std" | "core" | "alloc" | "crate" | "self" | "super")
+                || root == "catnap_util";
+            if !ok {
+                offenders.push(format!("{}:{}: {}", path.display(), i + 1, raw));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "catnap-util imports outside std/core/alloc/crate:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
 #[test]
 fn lockfile_covers_exactly_the_workspace_crates() {
     let lock = fs::read_to_string(repo_root().join("Cargo.lock")).expect("read Cargo.lock");

@@ -1,0 +1,94 @@
+//! Environment-gated throughput smoke test.
+//!
+//! Timing assertions do not belong in the default suite (CI machines
+//! and debug builds vary wildly), so this test is a no-op unless
+//! `CATNAP_PERF_SMOKE=1` is set. When enabled it times the light-load
+//! gated hot loop — the workload the active-router worklist optimizes —
+//! in whatever profile the test was compiled under, and fails only if
+//! throughput lands more than 3x below the pinned floor for that
+//! profile: a regression of that size means the worklist fast path (or
+//! something equally structural) broke, not that the machine was busy.
+//!
+//! The floors were measured on the reference container (single-core).
+//! If a legitimate change shifts throughput, re-measure with
+//! `CATNAP_PERF_SMOKE=1 cargo test --test perf_smoke -- --nocapture`
+//! and update the constants.
+
+use catnap_repro::noc::power_state::WakeReason;
+use catnap_repro::noc::{Network, NetworkConfig, NodeId};
+use std::time::Instant;
+
+/// Pinned cycles/sec floors for the scenario below, by compile profile.
+/// Debug is what `cargo test` runs; release is what `cargo test
+/// --release` and the bench harness run. The debug floor is far below
+/// the release one because debug builds keep the `debug_assert!`
+/// cross-checks that re-derive the occupancy and in-flight counters by
+/// linear scan every cycle.
+const FLOOR_DEBUG_CPS: f64 = 30_000.0;
+const FLOOR_RELEASE_CPS: f64 = 1_500_000.0;
+
+/// Mirror of the bench's `hotloop_light_gated_worklist` scenario: one
+/// gated 8x8 subnet, a single-flit packet every 48 cycles, a periodic
+/// sleep scan, worklist fast path enabled (the default).
+fn light_gated_cycles_per_sec(warmup: u64, measure: u64) -> f64 {
+    let mut net = Network::new(NetworkConfig::with_width(128).gating_enabled(true));
+    let nodes = net.dims().num_nodes() as u64;
+    let mut eject = Vec::new();
+    let mut pending: Option<(NodeId, NodeId)> = None;
+    let mut n = 0u64;
+    let mut drive = |net: &mut Network, cycle: u64| {
+        if cycle % 48 == 0 {
+            let src = NodeId(((n * 17 + 3) % nodes) as u16);
+            let dst = NodeId(((n * 29 + 11) % nodes) as u16);
+            n += 1;
+            if src != dst {
+                pending = Some((src, dst));
+            }
+        }
+        if let Some((src, dst)) = pending {
+            if net.can_inject(src) {
+                let flit = net.make_single_flit_packet(src, dst, cycle);
+                if net.try_inject_flit(src, 0, flit) {
+                    pending = None;
+                }
+            } else {
+                net.request_wake(src, WakeReason::NiInjection);
+            }
+        }
+        if cycle % 16 == 0 {
+            for node in net.dims().nodes() {
+                net.request_sleep(node);
+            }
+        }
+        net.step();
+        eject.clear();
+        net.drain_ejected_into(&mut eject);
+    };
+    for c in 0..warmup {
+        drive(&mut net, c);
+    }
+    let start = Instant::now();
+    for c in warmup..warmup + measure {
+        drive(&mut net, c);
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-12);
+    assert!(net.stats().packets_ejected > 0, "smoke workload delivered nothing");
+    measure as f64 / secs
+}
+
+#[test]
+fn gated_hot_loop_meets_throughput_floor() {
+    if std::env::var("CATNAP_PERF_SMOKE").map(|v| v != "1").unwrap_or(true) {
+        eprintln!("perf smoke skipped (set CATNAP_PERF_SMOKE=1 to enable)");
+        return;
+    }
+    let floor = if cfg!(debug_assertions) { FLOOR_DEBUG_CPS } else { FLOOR_RELEASE_CPS };
+    // Untimed pass first so page faults, lazy init and CPU clocks settle.
+    let _ = light_gated_cycles_per_sec(500, 2_000);
+    let cps = light_gated_cycles_per_sec(1_000, 20_000);
+    println!("perf smoke: {:.0} cycles/sec (floor {:.0}, fail below {:.0})", cps, floor, floor / 3.0);
+    assert!(
+        cps >= floor / 3.0,
+        "gated hot loop ran at {cps:.0} cycles/sec, more than 3x below the pinned floor of {floor:.0}"
+    );
+}
