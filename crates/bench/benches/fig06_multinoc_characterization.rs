@@ -9,7 +9,10 @@
 //! (serialization latency).
 
 use catnap::{MultiNocConfig, SelectorKind};
-use catnap_bench::{emit_json, latency_sweep, print_banner, run_synthetic, Table};
+use catnap_bench::{
+    emit_csv_timeline, emit_json, emit_trace, latency_sweep, print_banner, run_synthetic,
+    trace_synthetic, Table,
+};
 use catnap_traffic::SyntheticPattern;
 
 fn cfg(n: usize) -> MultiNocConfig {
@@ -58,4 +61,13 @@ fn main() {
     println!("\npaper: 4 subnets ~match Single-NoC throughput; 8 subnets lose some;");
     println!("low-load latency grows with flits/packet (serialization)");
     emit_json("fig06", &all);
+
+    // Companion artifact: a short gated 4NT-128b run at low load with
+    // recording sinks, exported as a Chrome trace (open in
+    // chrome://tracing / Perfetto) and a per-epoch CSV power timeline —
+    // see EXPERIMENTS.md "Power-state timeline".
+    let traced_cfg = MultiNocConfig::catnap_4x128().gating(true).step_threads(1);
+    let trace = trace_synthetic(traced_cfg, SyntheticPattern::UniformRandom, 0.05, 512, 3_000, 2);
+    emit_trace("fig06_4nt128_gated", &trace);
+    emit_csv_timeline("fig06_4nt128_gated", &trace, 150);
 }

@@ -25,6 +25,7 @@ use catnap::{MultiNoc, MultiNocConfig, SelectorKind};
 use catnap_bench::{emit_json, print_banner, Table};
 use catnap_noc::power_state::WakeReason;
 use catnap_noc::{Network, NetworkConfig, NodeId};
+use catnap_telemetry::RecordingSink;
 use catnap_traffic::{SyntheticPattern, SyntheticWorkload};
 use std::hint::black_box;
 use std::time::Instant;
@@ -56,6 +57,8 @@ struct PerfThroughput {
     worklist_speedup: f64,
     e2e_light_gated_speedup: f64,
     parallel_subnet_speedup: f64,
+    telemetry_recording_slowdown: f64,
+    telemetry_events_recorded: u64,
     scenarios: Vec<Scenario>,
 }
 
@@ -64,6 +67,8 @@ catnap_util::impl_to_json_struct!(PerfThroughput {
     worklist_speedup,
     e2e_light_gated_speedup,
     parallel_subnet_speedup,
+    telemetry_recording_slowdown,
+    telemetry_events_recorded,
     scenarios,
 });
 
@@ -171,6 +176,47 @@ fn run_timed(
     }
 }
 
+/// [`run_timed`] with [`RecordingSink`]s on every subnet and the policy
+/// layer: the full-fat telemetry cost (event construction + Vec pushes),
+/// to set against the statically-erased `NopSink` default. Returns the
+/// scenario and the number of events captured over warmup + measure.
+fn run_timed_recording(
+    scenario: &str,
+    cfg: MultiNocConfig,
+    offered: f64,
+    warmup: u64,
+    measure: u64,
+) -> (Scenario, u64) {
+    let mut net = MultiNoc::with_sinks(cfg, |_| RecordingSink::new());
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, offered, 512, net.dims(), 7);
+    for _ in 0..warmup {
+        load.drive(&mut net);
+        net.step();
+    }
+    let before = net.snapshot();
+    let start = Instant::now();
+    for _ in 0..measure {
+        load.drive(&mut net);
+        net.step();
+    }
+    let wall = start.elapsed();
+    let after = net.snapshot();
+    black_box(net.cycle());
+    let window = after.delta(&before);
+    let hops: u64 = window.activity_per_subnet.iter().map(|a| a.link_flits).sum();
+    let secs = wall.as_secs_f64().max(1e-12);
+    let events = net.take_trace().num_events() as u64;
+    let s = Scenario {
+        scenario: scenario.to_string(),
+        cycles: measure,
+        wall_ns: wall.as_nanos() as u64,
+        cycles_per_sec: measure as f64 / secs,
+        flit_hops_per_sec: hops as f64 / secs,
+        packets_delivered: window.delivered_packets,
+    };
+    (s, events)
+}
+
 fn main() {
     print_banner("perf_throughput", "simulator cycles/sec and speedups vs in-run baselines");
 
@@ -215,7 +261,21 @@ fn main() {
     );
     let parallel_subnet_speedup = parallel.cycles_per_sec / serial.cycles_per_sec;
 
-    let scenarios = vec![hot_full, hot_fast, full, fast, serial, parallel];
+    // --- Telemetry overhead: recording sinks vs the NopSink default ---
+    // `MultiNoc::new` elaborates to `MultiNoc<NopSink>`, so the
+    // `e2e_light_gated_worklist` scenario above IS the disabled-telemetry
+    // baseline (every `if S::ENABLED` guard is compiled out);
+    // tests/perf_smoke.rs holds that build to the pre-telemetry floor.
+    // This scenario pays the full recording cost instead.
+    let (rec, telemetry_events_recorded) =
+        run_timed_recording("e2e_light_gated_recording_sink", gated(), 0.01, 1_000, 20_000);
+    assert_eq!(
+        fast.packets_delivered, rec.packets_delivered,
+        "recording sinks must not perturb the simulation"
+    );
+    let telemetry_recording_slowdown = fast.cycles_per_sec / rec.cycles_per_sec;
+
+    let scenarios = vec![hot_full, hot_fast, full, fast, serial, parallel, rec];
     let mut table = Table::new(["scenario", "cycles", "Mcycles/s", "Mflit-hops/s"]);
     for s in &scenarios {
         table.row([
@@ -230,12 +290,18 @@ fn main() {
     println!("worklist speedup:         {worklist_speedup:.2}x (hot loop, target >= 3x)");
     println!("e2e light-gated speedup:  {e2e_light_gated_speedup:.2}x (Amdahl-bounded)");
     println!("parallel subnet speedup:  {parallel_subnet_speedup:.2}x (bounded by host cores)");
+    println!(
+        "telemetry recording cost: {telemetry_recording_slowdown:.2}x slowdown \
+         ({telemetry_events_recorded} events; NopSink default pays none of it)"
+    );
 
     let report = PerfThroughput {
         host_parallelism,
         worklist_speedup,
         e2e_light_gated_speedup,
         parallel_subnet_speedup,
+        telemetry_recording_slowdown,
+        telemetry_events_recorded,
         scenarios,
     };
     emit_json("perf_throughput", &report);

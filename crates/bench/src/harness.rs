@@ -72,22 +72,46 @@ impl Table {
     }
 }
 
-/// Writes a JSON result file under `bench_out/<id>.json` (next to the
-/// workspace root when run via cargo).
-pub fn emit_json<T: ToJson>(id: &str, value: &T) {
-    let dir = std::env::var("CARGO_MANIFEST_DIR")
+/// The `bench_out/` artifact directory (next to the workspace root when
+/// run via cargo).
+fn bench_out_dir() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| PathBuf::from(d).join("../../bench_out"))
-        .unwrap_or_else(|_| PathBuf::from("bench_out"));
+        .unwrap_or_else(|_| PathBuf::from("bench_out"))
+}
+
+fn emit_text(filename: &str, text: &str, what: &str) {
+    let dir = bench_out_dir();
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
-    let path = dir.join(format!("{id}.json"));
-    let s = value.to_json().to_pretty_string();
-    if let Err(e) = std::fs::write(&path, s) {
+    let path = dir.join(filename);
+    if let Err(e) = std::fs::write(&path, text) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
-        println!("\n[series written to {}]", path.display());
+        println!("\n[{what} written to {}]", path.display());
     }
+}
+
+/// Writes a JSON result file under `bench_out/<id>.json`.
+pub fn emit_json<T: ToJson>(id: &str, value: &T) {
+    emit_text(&format!("{id}.json"), &value.to_json().to_pretty_string(), "series");
+}
+
+/// Writes a run trace as Chrome `trace_event` JSON under
+/// `bench_out/<id>.trace.json` — load it in `chrome://tracing` or
+/// <https://ui.perfetto.dev> to see power-state timelines per router.
+pub fn emit_trace(id: &str, trace: &catnap_telemetry::Trace) {
+    let json = catnap_telemetry::chrome_trace(trace);
+    emit_text(&format!("{id}.trace.json"), &json.to_pretty_string(), "chrome trace");
+}
+
+/// Writes a run trace as a per-epoch CSV timeline under
+/// `bench_out/<id>.timeline.csv` (see
+/// [`catnap_telemetry::power_timeline_csv`] for the columns).
+pub fn emit_csv_timeline(id: &str, trace: &catnap_telemetry::Trace, epoch: u64) {
+    let csv = catnap_telemetry::power_timeline_csv(trace, epoch);
+    emit_text(&format!("{id}.timeline.csv"), &csv, "csv timeline");
 }
 
 #[cfg(test)]

@@ -14,5 +14,5 @@
 pub mod harness;
 pub mod runs;
 
-pub use harness::{emit_json, print_banner, Table};
-pub use runs::{latency_sweep, run_mix, run_synthetic, MixResult, SweepPoint};
+pub use harness::{emit_csv_timeline, emit_json, emit_trace, print_banner, Table};
+pub use runs::{latency_sweep, run_mix, run_synthetic, trace_synthetic, MixResult, SweepPoint};

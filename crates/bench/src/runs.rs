@@ -3,6 +3,7 @@
 use catnap::{MultiNoc, MultiNocConfig, MultiNocPowerReport};
 use catnap_multicore::{System, SystemConfig, SystemReport};
 use catnap_power::TechParams;
+use catnap_telemetry::{RecordingSink, Trace};
 use catnap_traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
 use catnap_util::impl_to_json_struct;
 use catnap_util::pool::{effective_parallelism, ThreadPool};
@@ -72,6 +73,30 @@ pub fn run_synthetic(
         dynamic_w: power.dynamic.total(),
         static_w: power.static_.total(),
     }
+}
+
+/// Runs synthetic traffic with recording sinks attached to every subnet
+/// and the policy layer, returning the collected [`Trace`]. Feed the
+/// result to [`crate::harness::emit_trace`] (Chrome `trace_event` JSON)
+/// or [`crate::harness::emit_csv_timeline`] (per-epoch CSV).
+///
+/// The simulation itself is bit-identical to [`run_synthetic`] at the
+/// same inputs — sinks only observe (see `tests/determinism.rs`).
+pub fn trace_synthetic(
+    cfg: MultiNocConfig,
+    pattern: SyntheticPattern,
+    offered: f64,
+    packet_bits: u32,
+    cycles: u64,
+    seed: u64,
+) -> Trace {
+    let mut net = MultiNoc::with_sinks(cfg, |_| RecordingSink::new());
+    let mut load = SyntheticWorkload::new(pattern, offered, packet_bits, net.dims(), seed);
+    for _ in 0..cycles {
+        load.drive(&mut net);
+        net.step();
+    }
+    net.take_trace()
 }
 
 /// Latency/throughput sweep over offered loads.
@@ -156,6 +181,26 @@ mod tests {
         assert!(p.accepted > 0.03 && p.accepted <= 0.06, "accepted {}", p.accepted);
         assert!(p.latency > 10.0 && p.latency < 200.0);
         assert!(p.total_w() > 1.0);
+    }
+
+    #[test]
+    fn traced_run_collects_all_event_streams() {
+        let t = trace_synthetic(
+            MultiNocConfig::catnap_2x128_64core().gating(true),
+            SyntheticPattern::UniformRandom,
+            0.05,
+            512,
+            800,
+            3,
+        );
+        assert_eq!(t.meta.cycles, 800);
+        assert_eq!(t.subnets.len(), 2);
+        assert!(!t.policy.is_empty(), "policy stream must carry select/inject/eject events");
+        let kinds = t.kind_counts();
+        assert!(kinds[3] > 0, "no select events");
+        assert!(kinds[4] > 0, "no inject events");
+        assert!(kinds[5] > 0, "no eject events");
+        assert!(kinds[0] > 0, "gating enabled but no power transitions");
     }
 
     #[test]

@@ -3,8 +3,13 @@
 //!
 //! The *mechanisms* (power-state machine, sleep guards, look-ahead wake
 //! signals, NI wake requests) live in `catnap-noc`; this module supplies
-//! the *policy* that drives them each cycle.
+//! the *policy* that drives them each cycle via [`GatingPolicy::apply`].
 
+use crate::ni::NodeNi;
+use crate::rcs::OrNetwork;
+use catnap_noc::power_state::WakeReason;
+use catnap_noc::{MeshDims, Network, Port};
+use catnap_telemetry::Sink;
 
 /// Which power-gating policy a [`MultiNoc`](crate::MultiNoc) runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +61,59 @@ impl GatingPolicy {
             GatingPolicy::LocalIdle => "local-idle",
             GatingPolicy::LocalIdlePort => "local-idle-port",
             GatingPolicy::CatnapRcs => "catnap-rcs",
+        }
+    }
+
+    /// Runs one cycle of the policy: issues sleep and wake requests to
+    /// the subnet networks. Called by `MultiNoc::step` between NI
+    /// injection and the subnet steps.
+    ///
+    /// The networks veto unsafe requests themselves (sleep guards,
+    /// in-flight flit checks), so the policy may ask freely; every
+    /// granted transition is reported through each network's telemetry
+    /// sink.
+    pub fn apply<S: Sink>(
+        self,
+        dims: MeshDims,
+        subnets: &mut [Network<S>],
+        or_nets: &[OrNetwork],
+        nis: &[NodeNi],
+    ) {
+        let k = subnets.len();
+        match self {
+            GatingPolicy::None => {}
+            GatingPolicy::LocalIdle => {
+                for net in subnets.iter_mut() {
+                    for node in dims.nodes() {
+                        net.request_sleep(node);
+                    }
+                }
+            }
+            GatingPolicy::LocalIdlePort => {
+                for (s, net) in subnets.iter_mut().enumerate() {
+                    for node in dims.nodes() {
+                        for port in Port::ALL {
+                            // Never gate the local port out from under an
+                            // in-flight NI injection.
+                            if port == Port::Local && nis[node.index()].wants_subnet(s) {
+                                continue;
+                            }
+                            net.request_sleep_port(node, port);
+                        }
+                    }
+                }
+            }
+            GatingPolicy::CatnapRcs => {
+                for h in 1..k {
+                    for node in dims.nodes() {
+                        if or_nets[h - 1].rcs_at(node) {
+                            subnets[h].request_wake(node, WakeReason::RegionalCongestion);
+                        } else {
+                            subnets[h].request_sleep(node);
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -70,4 +70,4 @@ pub use gating::GatingPolicy;
 pub use multinoc::{MultiNoc, RunReport, Snapshot};
 pub use power_report::MultiNocPowerReport;
 pub use rcs::OrNetwork;
-pub use select::SubnetSelector;
+pub use select::{congestion_mask, SubnetSelector};

@@ -6,14 +6,12 @@ use crate::config::{MultiNocConfig, RegionMode, SelectorKind};
 use crate::congestion::{LocalDetector, NodeSignals};
 use crate::ni::NodeNi;
 use crate::rcs::OrNetwork;
-use crate::select::{CatnapPriority, RandomSelect, RoundRobin, SubnetSelector};
-use catnap_noc::power_state::WakeReason;
+use crate::select::{congestion_mask, CatnapPriority, RandomSelect, RoundRobin, SubnetSelector};
 use catnap_noc::stats::{GatingActivity, RouterActivity};
 use catnap_noc::{Flit, MeshDims, Network, NodeId, PacketDescriptor, RegionMap};
+use catnap_telemetry::{Event, NopSink, Sink, SinkScope, Trace, TraceMeta};
 use catnap_traffic::generator::PacketSink;
 use catnap_util::pool::{effective_parallelism, ThreadPool};
-
-use crate::gating::GatingPolicy;
 
 /// A multiple network-on-chip with Catnap policies.
 ///
@@ -21,9 +19,16 @@ use crate::gating::GatingPolicy;
 /// [`catnap_traffic::generator::PacketSink`] — and calling
 /// [`MultiNoc::step`] once per cycle; read results via
 /// [`MultiNoc::snapshot`] / [`MultiNoc::finish`].
-pub struct MultiNoc {
+///
+/// Like [`Network`], the design is generic over a telemetry [`Sink`]
+/// (default [`NopSink`], compiled to nothing). [`MultiNoc::with_sinks`]
+/// attaches one sink per [`SinkScope`] — the serial policy layer plus
+/// one per subnet, so per-subnet streams stay thread-local while the
+/// subnets step on the pool — and [`MultiNoc::take_trace`] merges them
+/// into a [`Trace`] for the exporters.
+pub struct MultiNoc<S: Sink = NopSink> {
     cfg: MultiNocConfig,
-    subnets: Vec<Network>,
+    subnets: Vec<Network<S>>,
     nis: Vec<NodeNi>,
     detectors: Vec<Vec<LocalDetector>>,
     lcs: Vec<Vec<bool>>,
@@ -48,21 +53,45 @@ pub struct MultiNoc {
     eject_buf: Vec<(NodeId, Flit)>,
     /// Reusable per-subnet congestion mask handed to the selector.
     congested_buf: Vec<bool>,
+    /// Sink for policy-layer events (selection, congestion flips,
+    /// packet lifecycle); the subnets carry their own.
+    policy_sink: S,
 }
 
 impl MultiNoc {
-    /// Builds a Multi-NoC from a validated configuration.
+    /// Builds a Multi-NoC from a validated configuration, without
+    /// telemetry (the [`NopSink`] monomorphization).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: MultiNocConfig) -> Self {
+        MultiNoc::with_sinks(cfg, |_| NopSink)
+    }
+}
+
+impl<S: Sink> MultiNoc<S> {
+    /// Builds a Multi-NoC with one telemetry sink per scope: the factory
+    /// is called once with [`SinkScope::Policy`] and once per subnet
+    /// with [`SinkScope::Subnet`]. Separate instances keep each event
+    /// stream thread-local while subnets step in parallel; collect them
+    /// merged via [`MultiNoc::take_trace`].
+    ///
+    /// Telemetry is observation-only: runs are bit-identical with any
+    /// sink (the determinism suite asserts this against the goldens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_sinks(cfg: MultiNocConfig, mut sinks: impl FnMut(SinkScope) -> S) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid MultiNoc configuration: {e}");
         }
         let k = cfg.subnets;
         let nodes = cfg.dims.num_nodes();
-        let subnets: Vec<Network> = (0..k).map(|_| Network::new(cfg.subnet_config())).collect();
+        let subnets: Vec<Network<S>> = (0..k)
+            .map(|s| Network::with_sink(cfg.subnet_config(), sinks(SinkScope::Subnet(s))))
+            .collect();
         let nis = cfg
             .dims
             .nodes()
@@ -109,7 +138,28 @@ impl MultiNoc {
             pool,
             eject_buf: Vec::new(),
             congested_buf: Vec::with_capacity(k),
+            policy_sink: sinks(SinkScope::Policy),
             cfg,
+        }
+    }
+
+    /// Collects everything recorded so far into a [`Trace`], leaving the
+    /// sinks empty. The meta block captures the run parameters the
+    /// exporters need (mesh shape, subnet count, cycles simulated).
+    pub fn take_trace(&mut self) -> Trace {
+        let meta = TraceMeta {
+            name: self.cfg.name.clone(),
+            cols: self.cfg.dims.cols,
+            rows: self.cfg.dims.rows,
+            subnets: self.cfg.subnets,
+            cycles: self.cycle,
+            selector: self.selector.name().to_string(),
+            gating: self.cfg.gating_policy.name().to_string(),
+        };
+        Trace {
+            meta,
+            policy: self.policy_sink.drain(),
+            subnets: self.subnets.iter_mut().map(|n| n.take_events()).collect(),
         }
     }
 
@@ -148,7 +198,7 @@ impl MultiNoc {
     }
 
     /// Read access to one subnet network.
-    pub fn subnet(&self, s: usize) -> &Network {
+    pub fn subnet(&self, s: usize) -> &Network<S> {
         &self.subnets[s]
     }
 
@@ -187,6 +237,23 @@ impl MultiNoc {
                 }
                 let s = self.selector.select(idx, &self.congested_buf);
                 if self.nis[idx].slot_free(s) {
+                    if S::ENABLED {
+                        self.policy_sink.record(Event::Select {
+                            cycle: self.cycle,
+                            node: idx as u16,
+                            subnet: s as u8,
+                            congested_mask: congestion_mask(&self.congested_buf),
+                        });
+                        if let Some(desc) = self.nis[idx].head_packet() {
+                            self.policy_sink.record(Event::PacketInject {
+                                cycle: self.cycle,
+                                id: desc.id.0,
+                                subnet: s as u8,
+                                src: desc.src.0,
+                                dst: desc.dst.0,
+                            });
+                        }
+                    }
                     self.nis[idx].start_head_packet(s);
                     self.head_wait[idx] = 0;
                 } else {
@@ -201,41 +268,9 @@ impl MultiNoc {
         }
 
         // --- Power-gating policy ---
-        match self.cfg.gating_policy {
-            GatingPolicy::None => {}
-            GatingPolicy::LocalIdle => {
-                for s in 0..k {
-                    for node in self.cfg.dims.nodes() {
-                        self.subnets[s].request_sleep(node);
-                    }
-                }
-            }
-            GatingPolicy::LocalIdlePort => {
-                for s in 0..k {
-                    for node in self.cfg.dims.nodes() {
-                        for port in catnap_noc::Port::ALL {
-                            // Never gate the local port out from under an
-                            // in-flight NI injection.
-                            if port == catnap_noc::Port::Local && self.nis[node.index()].wants_subnet(s) {
-                                continue;
-                            }
-                            self.subnets[s].request_sleep_port(node, port);
-                        }
-                    }
-                }
-            }
-            GatingPolicy::CatnapRcs => {
-                for h in 1..k {
-                    for node in self.cfg.dims.nodes() {
-                        if self.or_nets[h - 1].rcs_at(node) {
-                            self.subnets[h].request_wake(node, WakeReason::RegionalCongestion);
-                        } else {
-                            self.subnets[h].request_sleep(node);
-                        }
-                    }
-                }
-            }
-        }
+        self.cfg
+            .gating_policy
+            .apply(self.cfg.dims, &mut self.subnets, &self.or_nets, &self.nis);
 
         // --- Step every subnet ---
         // Each `Network::step` is self-contained (no cross-subnet state,
@@ -258,7 +293,7 @@ impl MultiNoc {
         for s in 0..k {
             self.eject_buf.clear();
             self.subnets[s].drain_ejected_into(&mut self.eject_buf);
-            for &(_, flit) in &self.eject_buf {
+            for &(node, flit) in &self.eject_buf {
                 self.ejected_flits_per_subnet[s] += 1;
                 self.delivered_flits += 1;
                 if flit.kind.is_tail() {
@@ -266,6 +301,15 @@ impl MultiNoc {
                     let lat = self.cycle.saturating_sub(flit.created_cycle);
                     self.latency_sum += lat;
                     self.latency_max = self.latency_max.max(lat);
+                    if S::ENABLED {
+                        self.policy_sink.record(Event::PacketEject {
+                            cycle: self.cycle,
+                            id: flit.packet.0,
+                            subnet: s as u8,
+                            dst: node.0,
+                            latency: lat.min(u64::from(u32::MAX)) as u32,
+                        });
+                    }
                     if self.track_deliveries {
                         self.delivered_tails.push(flit);
                     }
@@ -283,7 +327,16 @@ impl MultiNoc {
                 };
                 let det = &mut self.detectors[s][idx];
                 det.update(&self.cfg.metric, self.subnets[s].router(node), &signals);
-                self.lcs[s][idx] = det.is_congested();
+                let now = det.is_congested();
+                if S::ENABLED && now != self.lcs[s][idx] {
+                    self.policy_sink.record(Event::Lcs {
+                        cycle: self.cycle,
+                        subnet: s as u8,
+                        node: idx as u16,
+                        on: now,
+                    });
+                }
+                self.lcs[s][idx] = now;
             }
         }
         for (idx, ni) in self.nis.iter_mut().enumerate() {
@@ -297,7 +350,17 @@ impl MultiNoc {
         // --- Regional OR networks ---
         for s in 0..k {
             let lcs = &self.lcs[s];
-            self.or_nets[s].tick(|n| lcs[n.index()]);
+            let latched = self.or_nets[s].tick(|n| lcs[n.index()]);
+            if S::ENABLED && latched {
+                for region in self.or_nets[s].changed_regions() {
+                    self.policy_sink.record(Event::Rcs {
+                        cycle: self.cycle,
+                        subnet: s as u8,
+                        region: region.0,
+                        on: self.or_nets[s].rcs_of(region),
+                    });
+                }
+            }
         }
     }
 
@@ -326,8 +389,8 @@ impl MultiNoc {
             latency_sum: self.latency_sum,
             ejected_flits_per_subnet: self.ejected_flits_per_subnet.clone(),
             injected_flits_per_subnet: self.injected_flits_per_subnet.clone(),
-            activity_per_subnet: self.subnets.iter().map(Network::total_activity).collect(),
-            gating_per_subnet: self.subnets.iter().map(Network::total_gating).collect(),
+            activity_per_subnet: self.subnets.iter().map(|n| n.total_activity()).collect(),
+            gating_per_subnet: self.subnets.iter().map(|n| n.total_gating()).collect(),
             or_switch_events: self.or_nets.iter().map(OrNetwork::switch_events).sum(),
         }
     }
@@ -339,7 +402,7 @@ impl MultiNoc {
 
     /// Routers currently active / sleeping / waking, summed over subnets.
     pub fn power_state_census(&self) -> (usize, usize, usize) {
-        self.subnets.iter().map(Network::power_state_census).fold(
+        self.subnets.iter().map(|n| n.power_state_census()).fold(
             (0, 0, 0),
             |(a, s, w), (a2, s2, w2)| (a + a2, s + s2, w + w2),
         )
@@ -383,7 +446,7 @@ impl MultiNoc {
     }
 }
 
-impl PacketSink for MultiNoc {
+impl<S: Sink> PacketSink for MultiNoc<S> {
     fn now(&self) -> u64 {
         self.cycle
     }
@@ -394,7 +457,7 @@ impl PacketSink for MultiNoc {
     }
 }
 
-impl std::fmt::Debug for MultiNoc {
+impl<S: Sink> std::fmt::Debug for MultiNoc<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiNoc")
             .field("name", &self.cfg.name)

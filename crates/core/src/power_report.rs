@@ -27,7 +27,7 @@ impl MultiNocPowerReport {
     }
 }
 
-impl MultiNoc {
+impl<S: catnap_telemetry::Sink> MultiNoc<S> {
     /// Router power model for this design's subnets.
     pub fn router_power_model(&self, tech: TechParams) -> RouterPowerModel {
         let cfg = self.config();

@@ -24,6 +24,9 @@ pub struct OrNetwork {
     /// Rising-edge flags from the most recent latch (consumed by the
     /// power-gating controller to wake routers).
     rose: Vec<bool>,
+    /// Change flags (either edge) from the most recent latch (consumed
+    /// by telemetry to emit one event per RCS flip).
+    changed: Vec<bool>,
     /// Total bit-switching events (for OR-network energy accounting).
     switch_events: u64,
 }
@@ -44,6 +47,7 @@ impl OrNetwork {
             countdown: period,
             latched: vec![false; n],
             rose: vec![false; n],
+            changed: vec![false; n],
             switch_events: 0,
         }
     }
@@ -82,6 +86,17 @@ impl OrNetwork {
             .map(|(i, _)| RegionId(i as u8))
     }
 
+    /// Regions whose RCS changed (either edge) at the most recent latch.
+    /// Only meaningful on a cycle where [`OrNetwork::tick`] returned
+    /// `true`; the flags persist until the next latch.
+    pub fn changed_regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.changed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(i, _)| RegionId(i as u8))
+    }
+
     /// Total OR-network switching events so far.
     pub fn switch_events(&self) -> u64 {
         self.switch_events
@@ -100,6 +115,7 @@ impl OrNetwork {
             let region = RegionId(i as u8);
             let new = self.regions.nodes_in(region).any(&mut lcs);
             self.rose[i] = new && !self.latched[i];
+            self.changed[i] = new != self.latched[i];
             if new != self.latched[i] {
                 self.switch_events += 1;
             }
@@ -173,6 +189,19 @@ mod tests {
         or.tick(|_| true); // stable
         or.tick(|_| false); // 4 regions fall
         assert_eq!(or.switch_events(), 8);
+    }
+
+    #[test]
+    fn changed_regions_report_both_edges() {
+        let mut or = OrNetwork::new(quadrants(), 1);
+        or.tick(|n| n == NodeId(0));
+        assert_eq!(or.changed_regions().count(), 1, "rise is a change");
+        or.tick(|n| n == NodeId(0));
+        assert_eq!(or.changed_regions().count(), 0, "level-stable");
+        or.tick(|_| false);
+        let changed: Vec<RegionId> = or.changed_regions().collect();
+        assert_eq!(changed, vec![RegionId(0)], "fall is a change too");
+        assert_eq!(or.rising_regions().count(), 0);
     }
 
     #[test]

@@ -7,6 +7,18 @@
 
 use catnap_util::SimRng;
 
+/// Packs a selector's congestion view into a bitmask (bit `s` set iff
+/// subnet `s` looked congested), the compact form carried by
+/// [`catnap_telemetry::Event::Select`] events. Subnets beyond bit 7 are
+/// truncated — no Catnap configuration exceeds 8 subnets.
+pub fn congestion_mask(congested: &[bool]) -> u8 {
+    congested
+        .iter()
+        .take(8)
+        .enumerate()
+        .fold(0u8, |m, (s, &c)| if c { m | (1 << s) } else { m })
+}
+
 /// A subnet-selection policy.
 ///
 /// `congested[s]` is the node's current view of subnet `s` (local OR
@@ -155,6 +167,15 @@ mod tests {
         assert!(a.iter().all(|&p| p < 4));
         // Uses more than one subnet.
         assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn congestion_mask_packs_bits() {
+        assert_eq!(congestion_mask(&[false; 4]), 0);
+        assert_eq!(congestion_mask(&[true, false, true, false]), 0b0101);
+        assert_eq!(congestion_mask(&[true; 4]), 0b1111);
+        // Truncated, not panicking, past 8 subnets.
+        assert_eq!(congestion_mask(&[true; 12]), 0xff);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::geometry::{MeshDims, NodeId, Port, NUM_PORTS};
 use crate::power_state::{PowerState, WakeReason};
 use crate::router::{Router, RouterOutput};
 use crate::stats::{GatingActivity, NetworkStats, RouterActivity};
+use catnap_telemetry::{Event, NopSink, PowerPhase, Sink};
 
 /// A single physical network-on-chip (one subnet of a Multi-NoC).
 ///
@@ -15,8 +16,14 @@ use crate::stats::{GatingActivity, NetworkStats, RouterActivity};
 /// injected at local ports between steps (by the network interface layer in
 /// the `catnap` crate, or directly in tests) and ejected flits are drained
 /// via [`Network::drain_ejected`].
+///
+/// The network is generic over a telemetry [`Sink`], defaulting to
+/// [`NopSink`]: the default monomorphization carries no instrumentation
+/// at all (every `if S::ENABLED` point is compiled out), while
+/// [`Network::with_sink`] builds a recording instance that emits a
+/// [`Event::Power`] for every router power-phase transition.
 #[derive(Clone, Debug)]
-pub struct Network {
+pub struct Network<S: Sink = NopSink> {
     cfg: NetworkConfig,
     routers: Vec<Router>,
     /// Flits that completed switch traversal this cycle and are entering
@@ -47,19 +54,42 @@ pub struct Network {
     /// Disables the drained-router fast path so every router runs the
     /// full `step` each cycle (perf baseline; results are identical).
     force_full_step: bool,
+    /// Telemetry sink; [`NopSink`] by default, which erases every
+    /// instrumentation point at monomorphization.
+    sink: S,
+    /// Last power phase reported per router, so transitions that happen
+    /// inside `Router::step`/`idle_tick` (wake-up countdowns completing)
+    /// are detected by comparison at the end of the step. Empty for the
+    /// `NopSink` monomorphization.
+    power_shadow: Vec<PowerPhase>,
 }
 
 /// Marker in the adjacency table for "no link in this direction".
 const NO_NEIGHBOR: usize = usize::MAX;
 
 impl Network {
-    /// Builds a network from a validated configuration.
+    /// Builds a network from a validated configuration, without
+    /// telemetry (the [`NopSink`] monomorphization).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
     /// [`NetworkConfig::validate`]).
     pub fn new(cfg: NetworkConfig) -> Self {
+        Network::with_sink(cfg, NopSink)
+    }
+}
+
+impl<S: Sink> Network<S> {
+    /// Builds a network that reports router power-phase transitions to
+    /// `sink`. Telemetry is observation-only: the simulation is
+    /// bit-identical with any sink (the determinism suite asserts this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`NetworkConfig::validate`]).
+    pub fn with_sink(cfg: NetworkConfig, sink: S) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid network configuration: {e}");
         }
@@ -123,6 +153,39 @@ impl Network {
             route_lut,
             inflight: vec![0; n * NUM_PORTS],
             force_full_step: false,
+            sink,
+            power_shadow: if S::ENABLED { vec![PowerPhase::Active; n] } else { Vec::new() },
+        }
+    }
+
+    /// Mutable access to the telemetry sink (to drain a recording sink
+    /// or read a counting one).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Hands back the events the sink accumulated so far, leaving it
+    /// empty. Returns nothing for sinks that retain nothing.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        self.sink.drain()
+    }
+
+    /// Emits a [`Event::Power`] if `idx`'s router is in a different
+    /// phase than last reported. Compiled out entirely for [`NopSink`].
+    #[inline]
+    fn note_power(&mut self, idx: usize) {
+        if S::ENABLED {
+            let now = PowerPhase::from(self.routers[idx].power_state());
+            let before = self.power_shadow[idx];
+            if now != before {
+                self.power_shadow[idx] = now;
+                self.sink.record(Event::Power {
+                    cycle: self.cycle,
+                    node: idx as u16,
+                    from: before,
+                    to: now,
+                });
+            }
         }
     }
 
@@ -209,6 +272,7 @@ impl Network {
         let r = &mut self.routers[node.index()];
         r.request_wake(cycle, reason);
         r.request_wake_port(Port::Local, cycle, reason);
+        self.note_power(node.index());
     }
 
     /// Requests wake-up of every router (used when the lower-order
@@ -217,6 +281,11 @@ impl Network {
         let cycle = self.cycle;
         for r in &mut self.routers {
             r.request_wake(cycle, reason);
+        }
+        if S::ENABLED {
+            for idx in 0..self.routers.len() {
+                self.note_power(idx);
+            }
         }
     }
 
@@ -267,6 +336,7 @@ impl Network {
         if self.can_sleep(node) {
             let cycle = self.cycle;
             self.routers[node.index()].enter_sleep(cycle);
+            self.note_power(node.index());
             true
         } else {
             false
@@ -426,6 +496,15 @@ impl Network {
             }
             self.scratch = out;
         }
+
+        // Telemetry: catch transitions that happened inside the router
+        // steps themselves (wake-up countdowns completing in
+        // `psm.tick`), which no explicit request call observed.
+        if S::ENABLED {
+            for idx in 0..self.routers.len() {
+                self.note_power(idx);
+            }
+        }
     }
 
     fn record_ejection(&mut self, node: NodeId, flit: Flit) {
@@ -450,6 +529,7 @@ impl Network {
                 // With port gating, wake the specific input port our link
                 // feeds.
                 r.request_wake_port(Port::from(dir.opposite()), cycle, WakeReason::LookaheadSignal);
+                self.note_power(nbr.index());
             }
         }
     }

@@ -41,6 +41,20 @@ impl PowerState {
     }
 }
 
+/// Telemetry sees power states with the wake-up countdown erased: a
+/// trace records *when* the phase changed, not how many charge cycles
+/// remain. `catnap-telemetry` sits below this crate in the dependency
+/// graph, so the conversion lives here.
+impl From<PowerState> for catnap_telemetry::PowerPhase {
+    fn from(state: PowerState) -> Self {
+        match state {
+            PowerState::Active => catnap_telemetry::PowerPhase::Active,
+            PowerState::Sleep => catnap_telemetry::PowerPhase::Sleep,
+            PowerState::WakeUp { .. } => catnap_telemetry::PowerPhase::Wake,
+        }
+    }
+}
+
 /// Why a wake-up was requested (for diagnostics and policy evaluation).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WakeReason {

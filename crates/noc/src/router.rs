@@ -235,6 +235,12 @@ impl Router {
         self.psm.state()
     }
 
+    /// Current power state as the telemetry-side phase (the wake-up
+    /// countdown erased).
+    pub fn power_phase(&self) -> catnap_telemetry::PowerPhase {
+        self.psm.state().into()
+    }
+
     /// Virtual channels per port.
     pub fn vcs(&self) -> usize {
         self.vcs

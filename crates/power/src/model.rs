@@ -143,8 +143,15 @@ impl NetworkPowerModel {
         }
     }
 
-    /// Convenience: builds the model directly from a simulated network.
-    pub fn for_network(net: &Network, vdd: f64, freq_hz: f64, tech: TechParams, link_factor: f64) -> Self {
+    /// Convenience: builds the model directly from a simulated network
+    /// (whatever its telemetry sink).
+    pub fn for_network<S: catnap_telemetry::Sink>(
+        net: &Network<S>,
+        vdd: f64,
+        freq_hz: f64,
+        tech: TechParams,
+        link_factor: f64,
+    ) -> Self {
         let cfg = net.config();
         let router = RouterPowerModel {
             width_bits: cfg.link_width_bits,

@@ -1,0 +1,339 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Produces the JSON object format understood by `chrome://tracing` and
+//! Perfetto: a `traceEvents` array of metadata ("M"), complete ("X") and
+//! instant ("i") events. Layout:
+//!
+//! * one *process* per subnet (`pid` = subnet index) named
+//!   `subnet <s> (<config>)`;
+//! * one *thread* per router (`tid` = node index) named `router (c,r)`,
+//!   carrying the router's power phases as back-to-back "X" duration
+//!   events (`active` / `sleep` / `wake`) plus its Lcs flips as instants;
+//! * one extra *process* (`pid` = subnet count) named `policy`, whose
+//!   threads are the injecting nodes (selection decisions and packet
+//!   inject/eject instants) and the OR-network regions
+//!   (`tid = 1000 + region`, Rcs flips).
+//!
+//! Timestamps are in cycles, written to the `ts`/`dur` microsecond
+//! fields verbatim — absolute time units don't matter for inspection,
+//! and integer cycle stamps keep the export byte-stable.
+
+use crate::event::{Event, PowerPhase, Trace};
+use catnap_util::json::Json;
+
+fn s(v: &str) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn i(v: u64) -> Json {
+    Json::Int(v as i64)
+}
+
+fn meta_event(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), s(name)),
+        ("ph".to_string(), s("M")),
+        ("pid".to_string(), i(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), i(tid)));
+    }
+    fields.push((
+        "args".to_string(),
+        Json::obj([("name".to_string(), s(value))]),
+    ));
+    Json::Obj(fields)
+}
+
+fn complete_event(name: &str, pid: u64, tid: u64, ts: u64, dur: u64) -> Json {
+    Json::obj([
+        ("name".to_string(), s(name)),
+        ("ph".to_string(), s("X")),
+        ("pid".to_string(), i(pid)),
+        ("tid".to_string(), i(tid)),
+        ("ts".to_string(), i(ts)),
+        ("dur".to_string(), i(dur)),
+    ])
+}
+
+fn instant_event(name: &str, pid: u64, tid: u64, ts: u64, args: Vec<(String, Json)>) -> Json {
+    Json::obj([
+        ("name".to_string(), s(name)),
+        ("ph".to_string(), s("i")),
+        ("s".to_string(), s("t")),
+        ("pid".to_string(), i(pid)),
+        ("tid".to_string(), i(tid)),
+        ("ts".to_string(), i(ts)),
+        ("args".to_string(), Json::Obj(args)),
+    ])
+}
+
+/// Thread id used for region tracks in the policy process, offset so
+/// they sort after any realistic node id.
+const REGION_TID_BASE: u64 = 1000;
+
+/// Converts a [`Trace`] into a Chrome `trace_event` JSON object.
+///
+/// The result is self-contained: serialize it with
+/// `to_pretty_string()` (or `to_compact_string()`) and the file loads
+/// directly in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(trace: &Trace) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    let num_nodes = trace.meta.num_nodes();
+    let policy_pid = trace.meta.subnets as u64;
+
+    // Process / thread naming metadata first, so viewers label tracks
+    // even when a track's first real event comes late.
+    for subnet in 0..trace.meta.subnets {
+        let pid = subnet as u64;
+        events.push(meta_event(
+            "process_name",
+            pid,
+            None,
+            &format!("subnet {subnet} ({})", trace.meta.name),
+        ));
+        for node in 0..num_nodes {
+            let (c, r) = (node as u16 % trace.meta.cols, node as u16 / trace.meta.cols);
+            events.push(meta_event(
+                "thread_name",
+                pid,
+                Some(node as u64),
+                &format!("router ({c},{r})"),
+            ));
+        }
+    }
+    events.push(meta_event(
+        "process_name",
+        policy_pid,
+        None,
+        &format!("policy ({} / {})", trace.meta.selector, trace.meta.gating),
+    ));
+
+    // Per-subnet streams: power phases as duration events. Each router's
+    // phase intervals are reconstructed from its transition events; every
+    // router starts Active at cycle 0 and the final interval is closed at
+    // meta.cycles.
+    for (subnet, stream) in trace.subnets.iter().enumerate() {
+        let pid = subnet as u64;
+        let mut phase: Vec<(PowerPhase, u64)> = vec![(PowerPhase::Active, 0); num_nodes];
+        for ev in stream {
+            match *ev {
+                Event::Power { cycle, node, from, to } => {
+                    let (cur, since) = phase[node as usize];
+                    debug_assert_eq!(cur, from, "power stream out of order");
+                    let _ = from;
+                    if cycle > since {
+                        events.push(complete_event(
+                            cur.label(),
+                            pid,
+                            u64::from(node),
+                            since,
+                            cycle - since,
+                        ));
+                    }
+                    phase[node as usize] = (to, cycle);
+                }
+                Event::Lcs { cycle, node, on, .. } => {
+                    events.push(instant_event(
+                        if on { "congested" } else { "uncongested" },
+                        pid,
+                        u64::from(node),
+                        cycle,
+                        vec![("on".to_string(), Json::Bool(on))],
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for (node, &(cur, since)) in phase.iter().enumerate() {
+            if trace.meta.cycles > since {
+                events.push(complete_event(
+                    cur.label(),
+                    pid,
+                    node as u64,
+                    since,
+                    trace.meta.cycles - since,
+                ));
+            }
+        }
+    }
+
+    // Policy stream: selection decisions, packet lifecycle, Rcs flips.
+    for ev in &trace.policy {
+        match *ev {
+            Event::Select { cycle, node, subnet, congested_mask } => {
+                events.push(instant_event(
+                    &format!("select s{subnet}"),
+                    policy_pid,
+                    u64::from(node),
+                    cycle,
+                    vec![
+                        ("subnet".to_string(), i(u64::from(subnet))),
+                        ("congested_mask".to_string(), i(u64::from(congested_mask))),
+                    ],
+                ));
+            }
+            Event::PacketInject { cycle, id, subnet, src, dst } => {
+                events.push(instant_event(
+                    &format!("inject s{subnet}"),
+                    policy_pid,
+                    u64::from(src),
+                    cycle,
+                    vec![
+                        ("id".to_string(), i(id)),
+                        ("dst".to_string(), i(u64::from(dst))),
+                    ],
+                ));
+            }
+            Event::PacketEject { cycle, id, subnet, dst, latency } => {
+                events.push(instant_event(
+                    &format!("eject s{subnet}"),
+                    policy_pid,
+                    u64::from(dst),
+                    cycle,
+                    vec![
+                        ("id".to_string(), i(id)),
+                        ("latency".to_string(), i(u64::from(latency))),
+                    ],
+                ));
+            }
+            Event::Rcs { cycle, subnet, region, on } => {
+                events.push(instant_event(
+                    &format!("rcs s{subnet} {}", if on { "on" } else { "off" }),
+                    policy_pid,
+                    REGION_TID_BASE + u64::from(region),
+                    cycle,
+                    vec![
+                        ("subnet".to_string(), i(u64::from(subnet))),
+                        ("on".to_string(), Json::Bool(on)),
+                    ],
+                ));
+            }
+            Event::Lcs { cycle, subnet, node, on } => {
+                // Policy-side Lcs flips (detector layer) land on the
+                // owning subnet's router track.
+                events.push(instant_event(
+                    if on { "congested" } else { "uncongested" },
+                    u64::from(subnet),
+                    u64::from(node),
+                    cycle,
+                    vec![("on".to_string(), Json::Bool(on))],
+                ));
+            }
+            Event::Power { .. } => {}
+        }
+    }
+
+    Json::obj([
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), s("ms")),
+        (
+            "otherData".to_string(),
+            Json::obj([
+                ("config".to_string(), s(&trace.meta.name)),
+                ("selector".to_string(), s(&trace.meta.selector)),
+                ("gating".to_string(), s(&trace.meta.gating)),
+                ("cycles".to_string(), i(trace.meta.cycles)),
+                (
+                    "mesh".to_string(),
+                    s(&format!("{}x{}", trace.meta.cols, trace.meta.rows)),
+                ),
+                ("time_unit".to_string(), s("cycles")),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceMeta;
+
+    fn small_trace() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                name: "2NT-test".into(),
+                cols: 2,
+                rows: 2,
+                subnets: 2,
+                cycles: 100,
+                selector: "round-robin".into(),
+                gating: "catnap-rcs".into(),
+            },
+            policy: vec![
+                Event::Select { cycle: 5, node: 0, subnet: 1, congested_mask: 0b01 },
+                Event::PacketInject { cycle: 5, id: 1, subnet: 1, src: 0, dst: 3 },
+                Event::Rcs { cycle: 6, subnet: 1, region: 0, on: true },
+                Event::Lcs { cycle: 6, subnet: 1, node: 0, on: true },
+                Event::PacketEject { cycle: 20, id: 1, subnet: 1, dst: 3, latency: 15 },
+            ],
+            subnets: vec![
+                vec![
+                    Event::Power { cycle: 10, node: 2, from: PowerPhase::Active, to: PowerPhase::Sleep },
+                    Event::Power { cycle: 40, node: 2, from: PowerPhase::Sleep, to: PowerPhase::Wake },
+                    Event::Power { cycle: 44, node: 2, from: PowerPhase::Wake, to: PowerPhase::Active },
+                ],
+                vec![],
+            ],
+        }
+    }
+
+    #[test]
+    fn export_reparses_and_has_expected_shape() {
+        let j = chrome_trace(&small_trace());
+        let text = j.to_pretty_string();
+        let parsed = Json::parse(&text).expect("chrome trace must be valid JSON");
+        let evs = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert!(!evs.is_empty());
+        // Every event carries ph + pid; X events carry ts + dur.
+        for ev in evs {
+            let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+            assert!(ev.get("pid").is_some());
+            if ph == "X" {
+                assert!(ev.get("ts").is_some() && ev.get("dur").is_some());
+            }
+        }
+        assert_eq!(
+            parsed.get("otherData").and_then(|o| o.get("cycles")).and_then(Json::as_u64),
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn power_intervals_tile_the_run() {
+        let j = chrome_trace(&small_trace());
+        // Node 2 on subnet 0: active [0,10), sleep [10,40), wake [40,44),
+        // active [44,100). Durations must sum to the run length.
+        let evs = j.get("traceEvents").and_then(Json::as_array).unwrap();
+        let durs: u64 = evs
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("pid").and_then(Json::as_u64) == Some(0)
+                    && e.get("tid").and_then(Json::as_u64) == Some(2)
+            })
+            .map(|e| e.get("dur").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(durs, 100);
+    }
+
+    #[test]
+    fn idle_routers_get_one_full_active_interval() {
+        let j = chrome_trace(&small_trace());
+        let evs = j.get("traceEvents").and_then(Json::as_array).unwrap();
+        let node0 = evs
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("pid").and_then(Json::as_u64) == Some(1)
+                    && e.get("tid").and_then(Json::as_u64) == Some(0)
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(node0.len(), 1);
+        assert_eq!(node0[0].get("name").and_then(Json::as_str), Some("active"));
+        assert_eq!(node0[0].get("dur").and_then(Json::as_u64), Some(100));
+    }
+}

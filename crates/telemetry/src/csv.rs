@@ -1,0 +1,199 @@
+//! CSV timeline exporter: per-epoch aggregation of a [`Trace`].
+//!
+//! One row per `(epoch, subnet)`. Power-phase columns are the router
+//! census *at the end of the epoch* (events applied in cycle order, every
+//! router starting Active); the remaining columns count events whose
+//! stamp falls inside the epoch. The output is plain comma-separated
+//! text with a header row — no quoting is ever needed because every cell
+//! is numeric.
+
+use crate::event::{Event, PowerPhase, Trace};
+
+/// Per-`(epoch, subnet)` accumulator backing one CSV row.
+#[derive(Clone, Copy, Default)]
+struct EpochRow {
+    sleep_entries: u64,
+    wakeups: u64,
+    lcs_flips: u64,
+    rcs_flips: u64,
+    selects: u64,
+    injected: u64,
+    ejected: u64,
+}
+
+/// Renders a trace as a per-epoch CSV timeline.
+///
+/// `epoch` is the aggregation window in cycles; the last window is
+/// truncated at `trace.meta.cycles`. Columns:
+///
+/// ```text
+/// epoch_start,subnet,active,sleep,wake,sleep_entries,wakeups,
+/// lcs_flips,rcs_flips,selects,injected,ejected
+/// ```
+///
+/// `active`/`sleep`/`wake` are router counts at the end of the epoch
+/// (they sum to the node count); the rest are event counts within it.
+///
+/// # Panics
+///
+/// Panics if `epoch` is zero.
+pub fn power_timeline_csv(trace: &Trace, epoch: u64) -> String {
+    assert!(epoch > 0, "epoch must be positive");
+    let num_nodes = trace.meta.num_nodes();
+    let subnets = trace.meta.subnets;
+    let num_epochs = trace.meta.cycles.div_ceil(epoch).max(1) as usize;
+
+    let mut rows = vec![EpochRow::default(); num_epochs * subnets];
+    let at = |cycle: u64, subnet: usize| -> usize {
+        let e = ((cycle / epoch) as usize).min(num_epochs - 1);
+        e * subnets + subnet
+    };
+
+    // Phase census per subnet, advanced epoch by epoch below; power
+    // events are bucketed here first so the census walk stays a single
+    // in-order pass per subnet stream.
+    for (subnet, stream) in trace.subnets.iter().enumerate() {
+        for ev in stream {
+            match *ev {
+                Event::Power { cycle, to, .. } => {
+                    let row = &mut rows[at(cycle, subnet)];
+                    match to {
+                        PowerPhase::Sleep => row.sleep_entries += 1,
+                        PowerPhase::Wake => row.wakeups += 1,
+                        PowerPhase::Active => {}
+                    }
+                }
+                Event::Lcs { cycle, subnet: s, .. } => {
+                    rows[at(cycle, s as usize)].lcs_flips += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    for ev in &trace.policy {
+        match *ev {
+            Event::Lcs { cycle, subnet, .. } => rows[at(cycle, subnet as usize)].lcs_flips += 1,
+            Event::Rcs { cycle, subnet, .. } => rows[at(cycle, subnet as usize)].rcs_flips += 1,
+            Event::Select { cycle, subnet, .. } => rows[at(cycle, subnet as usize)].selects += 1,
+            Event::PacketInject { cycle, subnet, .. } => {
+                rows[at(cycle, subnet as usize)].injected += 1;
+            }
+            Event::PacketEject { cycle, subnet, .. } => {
+                rows[at(cycle, subnet as usize)].ejected += 1;
+            }
+            Event::Power { .. } => {}
+        }
+    }
+
+    let mut out = String::with_capacity(64 * num_epochs * subnets);
+    out.push_str(
+        "epoch_start,subnet,active,sleep,wake,sleep_entries,wakeups,lcs_flips,rcs_flips,selects,injected,ejected\n",
+    );
+    for subnet in 0..subnets {
+        let mut phase = vec![PowerPhase::Active; num_nodes];
+        let stream = trace.subnets.get(subnet).map_or(&[][..], Vec::as_slice);
+        let mut next = 0usize;
+        for e in 0..num_epochs {
+            let epoch_start = e as u64 * epoch;
+            let epoch_end = (epoch_start + epoch).min(trace.meta.cycles.max(epoch_start + 1));
+            // Apply this subnet's power transitions up to the end of the
+            // epoch, then snapshot the census.
+            while next < stream.len() && stream[next].cycle() < epoch_end {
+                if let Event::Power { node, to, .. } = stream[next] {
+                    phase[node as usize] = to;
+                }
+                next += 1;
+            }
+            let mut census = [0usize; 3];
+            for &p in &phase {
+                census[match p {
+                    PowerPhase::Active => 0,
+                    PowerPhase::Sleep => 1,
+                    PowerPhase::Wake => 2,
+                }] += 1;
+            }
+            let row = rows[e * subnets + subnet];
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                epoch_start,
+                subnet,
+                census[0],
+                census[1],
+                census[2],
+                row.sleep_entries,
+                row.wakeups,
+                row.lcs_flips,
+                row.rcs_flips,
+                row.selects,
+                row.injected,
+                row.ejected,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceMeta;
+
+    fn trace() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                name: "t".into(),
+                cols: 2,
+                rows: 2,
+                subnets: 2,
+                cycles: 200,
+                selector: "round-robin".into(),
+                gating: "catnap-rcs".into(),
+            },
+            policy: vec![
+                Event::Select { cycle: 10, node: 0, subnet: 0, congested_mask: 0 },
+                Event::PacketInject { cycle: 10, id: 1, subnet: 0, src: 0, dst: 3 },
+                Event::Rcs { cycle: 120, subnet: 1, region: 0, on: true },
+                Event::PacketEject { cycle: 130, id: 1, subnet: 0, dst: 3, latency: 120 },
+            ],
+            subnets: vec![
+                vec![
+                    Event::Power { cycle: 50, node: 1, from: PowerPhase::Active, to: PowerPhase::Sleep },
+                    Event::Power { cycle: 150, node: 1, from: PowerPhase::Sleep, to: PowerPhase::Wake },
+                ],
+                vec![],
+            ],
+        }
+    }
+
+    #[test]
+    fn header_epochs_and_census() {
+        let csv = power_timeline_csv(&trace(), 100);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0].split(',').count(), 12);
+        // 2 epochs x 2 subnets + header.
+        assert_eq!(lines.len(), 1 + 4);
+        // Subnet 0, epoch 0: node 1 asleep by cycle 100 -> 3 active, 1 sleep.
+        assert_eq!(lines[1], "0,0,3,1,0,1,0,0,0,1,1,0");
+        // Subnet 0, epoch 1: node 1 waking by cycle 200; 1 eject in epoch.
+        assert_eq!(lines[2], "100,0,3,0,1,0,1,0,0,0,0,1");
+        // Subnet 1, epoch 1: all active, one rcs flip.
+        assert_eq!(lines[4], "100,1,4,0,0,0,0,0,1,0,0,0");
+    }
+
+    #[test]
+    fn census_columns_always_sum_to_node_count() {
+        let t = trace();
+        let csv = power_timeline_csv(&t, 64);
+        for line in csv.lines().skip(1) {
+            let cells: Vec<u64> =
+                line.split(',').map(|c| c.parse().unwrap()).collect();
+            assert_eq!(cells[2] + cells[3] + cells[4], t.meta.num_nodes() as u64, "{line}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must be positive")]
+    fn zero_epoch_rejected() {
+        power_timeline_csv(&trace(), 0);
+    }
+}

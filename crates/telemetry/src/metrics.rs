@@ -1,0 +1,507 @@
+//! Metrics: monotonic counters, gauges, and log-bucketed histograms.
+//!
+//! The histogram is HDR-style: values below `2^sub_bits` land in exact
+//! unit buckets; above that, each power-of-two octave is split into
+//! `2^sub_bits` equal sub-buckets, bounding the relative quantization
+//! error by `2^-sub_bits`. Bucket counts are plain `u64`s, so merging two
+//! histograms of the same configuration is an elementwise add — exact,
+//! associative, and loss-free (the property `latency_sweep`-style
+//! fan-outs need to aggregate per-point histograms).
+
+use catnap_util::json::{Json, ToJson};
+
+/// A log-bucketed (HDR-style) histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Sub-bucket precision: `2^sub_bits` sub-buckets per octave.
+    sub_bits: u32,
+    /// Bucket counts, grown on demand; index per [`Histogram::bucket_index`].
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `2^sub_bits` sub-buckets per octave
+    /// (relative error ≤ `2^-sub_bits` above the exact range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub_bits` is not in `1..=16`.
+    pub fn new(sub_bits: u32) -> Self {
+        assert!((1..=16).contains(&sub_bits), "sub_bits must be in 1..=16");
+        Histogram {
+            sub_bits,
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The default latency histogram: 32 sub-buckets per octave
+    /// (≈3% relative error), exact below 32 cycles.
+    pub fn latency() -> Self {
+        Histogram::new(5)
+    }
+
+    /// The sub-bucket precision this histogram was built with.
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
+    /// Bucket index of a value: exact unit buckets below `2^sub_bits`,
+    /// then `2^sub_bits` sub-buckets per octave.
+    pub fn bucket_index(&self, value: u64) -> usize {
+        let n = 1u64 << self.sub_bits;
+        if value < n {
+            return value as usize;
+        }
+        let top = 63 - u64::from(value.leading_zeros());
+        let shift = top - u64::from(self.sub_bits);
+        ((shift + 1) * n + (value >> shift) - n) as usize
+    }
+
+    /// Lowest value mapping to bucket `index`.
+    pub fn bucket_low(&self, index: usize) -> u64 {
+        let n = 1usize << self.sub_bits;
+        if index < n {
+            return index as u64;
+        }
+        let shift = (index / n - 1) as u32;
+        ((n + index % n) as u64) << shift
+    }
+
+    /// Highest value mapping to bucket `index`.
+    pub fn bucket_high(&self, index: usize) -> u64 {
+        let n = 1usize << self.sub_bits;
+        if index < n {
+            return index as u64;
+        }
+        let shift = (index / n - 1) as u32;
+        self.bucket_low(index) + (1u64 << shift) - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += value.saturating_mul(n);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or 0 when empty. `q = 0.5` is the median.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram of the same configuration into this one.
+    /// Exact: every bucket count, the total count and the sum add; no
+    /// sample is re-quantized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-bucket configurations differ (their bucket
+    /// indices are incompatible).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.sub_bits, other.sub_bits,
+            "cannot merge histograms of different precision"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(low, high, count)` triples.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_low(i), self.bucket_high(i), c))
+            .collect()
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count".to_string(), Json::Int(self.count as i64)),
+            ("sum".to_string(), Json::Int(self.sum as i64)),
+            ("min".to_string(), Json::Int(self.min() as i64)),
+            ("max".to_string(), Json::Int(self.max as i64)),
+            ("mean".to_string(), Json::Num(self.mean())),
+            ("p50".to_string(), Json::Int(self.value_at_quantile(0.50) as i64)),
+            ("p95".to_string(), Json::Int(self.value_at_quantile(0.95) as i64)),
+            ("p99".to_string(), Json::Int(self.value_at_quantile(0.99) as i64)),
+            (
+                "buckets".to_string(),
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, hi, c)| {
+                            Json::Arr(vec![
+                                Json::Int(lo as i64),
+                                Json::Int(hi as i64),
+                                Json::Int(c as i64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A named collection of counters, gauges and histograms.
+///
+/// Names are looked up linearly — registries hold a handful of metrics
+/// and are touched at reporting granularity, not per cycle. Insertion
+/// order is preserved so serialized output is stable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `by` to a monotonic counter, creating it at zero on first use.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += by,
+            None => self.counters.push((name.to_string(), by)),
+        }
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name.to_string(), value)),
+        }
+    }
+
+    /// Records a sample into a named histogram (created with the default
+    /// latency configuration on first use).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.record(value),
+            None => {
+                let mut h = Histogram::latency();
+                h.record(value);
+                self.histograms.push((name.to_string(), h));
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A named histogram, if any samples were observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Merges another registry: counters add, histograms merge exactly,
+    /// gauges take the other side's value (latest wins).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            self.inc(name, *v);
+        }
+        for (name, v) in &other.gauges {
+            self.set_gauge(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+    }
+
+    /// Builds the standard per-run metrics from a trace: per-kind event
+    /// counters, a `packet_latency_cycles` histogram from ejections, and
+    /// sleep/wake transition counters.
+    pub fn from_trace(trace: &crate::event::Trace) -> Registry {
+        use crate::event::{Event, PowerPhase};
+        let mut reg = Registry::new();
+        let kinds = trace.kind_counts();
+        for (i, name) in Event::KIND_NAMES.iter().enumerate() {
+            reg.inc(&format!("events_{name}"), kinds[i]);
+        }
+        for ev in trace.policy.iter().chain(trace.subnets.iter().flatten()) {
+            match *ev {
+                Event::PacketEject { latency, .. } => {
+                    reg.observe("packet_latency_cycles", u64::from(latency));
+                }
+                Event::Power { to, .. } => match to {
+                    PowerPhase::Sleep => reg.inc("sleep_entries", 1),
+                    PowerPhase::Active => reg.inc("wake_completions", 1),
+                    PowerPhase::Wake => reg.inc("wake_starts", 1),
+                },
+                Event::Select { subnet, .. } => {
+                    reg.inc(&format!("selects_subnet{subnet}"), 1);
+                }
+                _ => {}
+            }
+        }
+        reg.set_gauge("cycles", trace.meta.cycles as f64);
+        reg
+    }
+}
+
+impl ToJson for Registry {
+    fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::Int(*v as i64)))
+            .collect::<Vec<_>>();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::Num(*v)))
+            .collect::<Vec<_>>();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), h.to_json()))
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_two_to_sub_bits() {
+        let h = Histogram::new(3);
+        for v in 0..8u64 {
+            assert_eq!(h.bucket_index(v), v as usize);
+            assert_eq!(h.bucket_low(v as usize), v);
+            assert_eq!(h.bucket_high(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn octave_boundaries_are_tight() {
+        let h = Histogram::new(3);
+        // First log octave: [8, 16) in unit-width sub-buckets of width 1.
+        assert_eq!(h.bucket_index(8), 8);
+        assert_eq!(h.bucket_index(15), 15);
+        // Second octave: [16, 32) in sub-buckets of width 2.
+        assert_eq!(h.bucket_index(16), 16);
+        assert_eq!(h.bucket_index(17), 16);
+        assert_eq!(h.bucket_index(18), 17);
+        assert_eq!(h.bucket_low(16), 16);
+        assert_eq!(h.bucket_high(16), 17);
+        // Every value maps into a bucket whose [low, high] contains it,
+        // and indices are monotone in the value.
+        let mut prev = 0usize;
+        for v in 0..100_000u64 {
+            let idx = h.bucket_index(v);
+            assert!(h.bucket_low(idx) <= v && v <= h.bucket_high(idx), "v={v} idx={idx}");
+            assert!(idx >= prev, "bucket index must be monotone at v={v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let h = Histogram::new(5);
+        for v in [100u64, 1_000, 12_345, 1_000_000, u64::from(u32::MAX)] {
+            let idx = h.bucket_index(v);
+            let width = h.bucket_high(idx) - h.bucket_low(idx);
+            assert!(
+                (width as f64) <= v as f64 / 32.0 + 1.0,
+                "bucket width {width} too wide at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max_mean() {
+        let mut h = Histogram::new(4);
+        for v in [3u64, 50, 700] {
+            h.record(v);
+        }
+        h.record_n(50, 2);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 3 + 50 + 700 + 100);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 700);
+        assert!((h.mean() - 853.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_preserves_counts_exactly() {
+        let mut a = Histogram::new(5);
+        let mut b = Histogram::new(5);
+        let mut reference = Histogram::new(5);
+        for v in 0..500u64 {
+            let x = (v * 7919) % 10_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            reference.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, reference, "merge must equal recording everything into one histogram");
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_rejects_mismatched_precision() {
+        let mut a = Histogram::new(3);
+        a.merge(&Histogram::new(4));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::latency();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let p50 = h.value_at_quantile(0.5);
+        let p99 = h.value_at_quantile(0.99);
+        assert!((480..=540).contains(&p50), "p50 {p50}");
+        assert!((960..=1_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.value_at_quantile(1.0), 1_000);
+        assert_eq!(Histogram::latency().value_at_quantile(0.5), 0, "empty histogram");
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = Registry::new();
+        r.inc("pkts", 2);
+        r.inc("pkts", 3);
+        r.set_gauge("load", 0.1);
+        r.set_gauge("load", 0.2);
+        r.observe("lat", 10);
+        assert_eq!(r.counter("pkts"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("load"), Some(0.2));
+        assert_eq!(r.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_merges_histograms() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.inc("n", 1);
+        b.inc("n", 2);
+        b.inc("only_b", 7);
+        a.observe("lat", 5);
+        b.observe("lat", 500);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.counter("only_b"), 7);
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 500);
+    }
+
+    #[test]
+    fn registry_json_shape() {
+        let mut r = Registry::new();
+        r.inc("a", 1);
+        r.observe("lat", 42);
+        let j = r.to_json();
+        assert_eq!(j.get("counters").and_then(|c| c.get("a")).and_then(Json::as_u64), Some(1));
+        let lat = j.get("histograms").and_then(|h| h.get("lat")).expect("lat histogram");
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
+        // Reparse round-trip through the pretty writer.
+        let parsed = Json::parse(&j.to_pretty_string()).expect("registry JSON must reparse");
+        assert_eq!(parsed.to_pretty_string(), j.to_pretty_string());
+    }
+}

@@ -2,13 +2,20 @@
 //! Multi-NoC breathe as load changes. Each frame shows the four subnets
 //! side by side; `#` = active, `.` = asleep, `~` = waking.
 //!
+//! The same run is captured through recording telemetry sinks and
+//! exported to `bench_out/sleep_heatmap.trace.json` (open in
+//! chrome://tracing or <https://ui.perfetto.dev> for the per-router
+//! power timeline) and `bench_out/sleep_heatmap.timeline.csv` (one row
+//! per frame per subnet — the machine-readable version of the frames).
+//!
 //! Run with: `cargo run --release --example sleep_heatmap`
 
 use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
 use catnap_repro::noc::PowerState;
+use catnap_repro::telemetry::{chrome_trace, power_timeline_csv, RecordingSink, Registry, Sink};
 use catnap_repro::traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload};
 
-fn frame(net: &MultiNoc) -> String {
+fn frame<S: Sink>(net: &MultiNoc<S>) -> String {
     let dims = net.dims();
     let mut out = String::new();
     for y in 0..dims.rows {
@@ -30,7 +37,8 @@ fn frame(net: &MultiNoc) -> String {
 }
 
 fn main() {
-    let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
+    let mut net =
+        MultiNoc::with_sinks(MultiNocConfig::catnap_4x128().gating(true), |_| RecordingSink::new());
     let schedule = LoadSchedule::piecewise(vec![
         (0, 0.01),
         (1_200, 0.30),
@@ -58,10 +66,40 @@ fn main() {
         );
         println!("{}", frame(&net));
     }
+    let trace = net.take_trace();
     let report = net.finish();
     println!(
         "CSC {:.0}% over the whole run, {} sleep transitions",
         report.csc_fraction * 100.0,
         report.sleep_transitions
     );
+
+    let reg = Registry::from_trace(&trace);
+    if let Some(h) = reg.histogram("packet_latency_cycles") {
+        println!(
+            "packet latency: mean {:.1}, p50 {}, p95 {}, p99 {} cycles over {} packets",
+            h.mean(),
+            h.value_at_quantile(0.50),
+            h.value_at_quantile(0.95),
+            h.value_at_quantile(0.99),
+            h.count(),
+        );
+    }
+    println!(
+        "telemetry: {} events ({} sleep entries, {} wake completions)",
+        trace.num_events(),
+        reg.counter("sleep_entries"),
+        reg.counter("wake_completions"),
+    );
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("bench_out");
+    std::fs::create_dir_all(&dir).expect("create bench_out/");
+    let trace_path = dir.join("sleep_heatmap.trace.json");
+    std::fs::write(&trace_path, chrome_trace(&trace).to_pretty_string()).expect("write trace");
+    println!("[chrome trace written to {}]", trace_path.display());
+    let csv_path = dir.join("sleep_heatmap.timeline.csv");
+    // One CSV epoch per displayed frame, so rows line up with the ASCII
+    // heatmap above.
+    std::fs::write(&csv_path, power_timeline_csv(&trace, 600)).expect("write timeline");
+    println!("[csv timeline written to {}]", csv_path.display());
 }

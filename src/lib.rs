@@ -17,6 +17,9 @@
 //!   subnet-selection, regional congestion detection and power gating.
 //! * [`multicore`] — closed-loop many-core substrate (cores, caches, MESI
 //!   directory coherence, memory controllers).
+//! * [`telemetry`] — cycle-level tracing and metrics: typed events,
+//!   statically-dispatched sinks, HDR-style histograms, Chrome-trace and
+//!   CSV exporters.
 //! * [`util`] — zero-dependency support library (seedable RNG, minimal
 //!   JSON, mini property-testing runner) keeping the build hermetic.
 //!
@@ -48,5 +51,6 @@ pub use catnap;
 pub use catnap_multicore as multicore;
 pub use catnap_noc as noc;
 pub use catnap_power as power;
+pub use catnap_telemetry as telemetry;
 pub use catnap_traffic as traffic;
 pub use catnap_util as util;

@@ -12,6 +12,7 @@
 
 use catnap_repro::catnap::{MultiNoc, MultiNocConfig, SelectorKind};
 use catnap_repro::multicore::{System, SystemConfig};
+use catnap_repro::telemetry::RecordingSink;
 use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
 
 fn synthetic_fingerprint(seed: u64) -> (u64, u64, u64, String) {
@@ -117,6 +118,49 @@ fn golden_catnap_priority_gated() {
 #[test]
 fn golden_catnap_priority_ungated() {
     assert_golden(SelectorKind::CatnapPriority, false, (7447, 225011, 99));
+}
+
+/// [`golden_fingerprint`] with a [`RecordingSink`] on every subnet and
+/// the policy layer. Telemetry sinks only observe — attaching them must
+/// not perturb a single RNG draw, selection decision, or router step.
+fn golden_fingerprint_recorded(selector: SelectorKind, gating: bool) -> ((u64, u64, u64), usize) {
+    let cfg = MultiNocConfig::catnap_4x128().selector(selector).gating(gating).seed(7);
+    let mut net = MultiNoc::with_sinks(cfg, |_| RecordingSink::new());
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.08, 512, net.dims(), 7);
+    for _ in 0..1_500 {
+        load.drive(&mut net);
+        net.step();
+    }
+    let snap = net.snapshot();
+    let events = net.take_trace().num_events();
+    let report = net.finish();
+    ((report.packets_delivered, snap.latency_sum, snap.or_switch_events), events)
+}
+
+/// Every pinned golden must replay bit-identically with recording
+/// telemetry attached — and the sinks must actually have seen events
+/// (an accidental `NopSink` here would pass the equality vacuously).
+#[test]
+fn goldens_unchanged_with_recording_telemetry() {
+    if std::env::var_os("CATNAP_PRINT_GOLDENS").is_some() {
+        return; // goldens are being re-pinned; the plain tests print them
+    }
+    let pinned = [
+        (SelectorKind::RoundRobin, true, (7416, 290007, 325)),
+        (SelectorKind::RoundRobin, false, (7502, 167583, 0)),
+        (SelectorKind::Random, true, (7430, 288557, 331)),
+        (SelectorKind::Random, false, (7504, 168413, 0)),
+        (SelectorKind::CatnapPriority, true, (7443, 248092, 222)),
+        (SelectorKind::CatnapPriority, false, (7447, 225011, 99)),
+    ];
+    for (selector, gating, want) in pinned {
+        let (got, events) = golden_fingerprint_recorded(selector, gating);
+        assert_eq!(
+            got, want,
+            "recording telemetry perturbed the golden for {selector:?} gating={gating}"
+        );
+        assert!(events > 0, "recording sinks captured nothing for {selector:?} gating={gating}");
+    }
 }
 
 #[test]

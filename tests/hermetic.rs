@@ -24,7 +24,7 @@ fn manifests() -> Vec<PathBuf> {
             out.push(manifest);
         }
     }
-    assert!(out.len() >= 7, "expected root + >=6 crate manifests, found {}", out.len());
+    assert!(out.len() >= 8, "expected root + >=7 crate manifests, found {}", out.len());
     out
 }
 
@@ -99,20 +99,20 @@ fn lockfile_has_no_registry_packages() {
 }
 
 /// `catnap-util` is the hermeticity floor of the workspace: every other
-/// crate leans on it precisely so that nothing needs the registry. Its
-/// sources (including the thread pool) must therefore only ever import
-/// `std`/`core`/`alloc` or the crate itself — a `use` of anything else
-/// means a dependency snuck in below the manifest scan's radar.
-#[test]
-fn util_sources_import_only_std() {
-    let src = repo_root().join("crates/util/src");
+/// crate leans on it precisely so that nothing needs the registry —
+/// and `catnap-telemetry` sits right above it with the same promise
+/// (DESIGN.md §8, §10). Their sources must therefore only ever import
+/// `std`/`core`/`alloc`, the crate itself, or (for telemetry) the util
+/// crate — a `use` of anything else means a dependency snuck in below
+/// the manifest scan's radar.
+fn scan_std_only(src: &Path, allowed_crates: &[&str]) -> Vec<String> {
     let mut offenders = Vec::new();
-    for entry in fs::read_dir(&src).expect("crates/util/src directory") {
+    for entry in fs::read_dir(src).unwrap_or_else(|e| panic!("{}: {e}", src.display())) {
         let path = entry.expect("dir entry").path();
         if path.extension().and_then(|e| e.to_str()) != Some("rs") {
             continue;
         }
-        let text = fs::read_to_string(&path).expect("read util source");
+        let text = fs::read_to_string(&path).expect("read source");
         for (i, raw) in text.lines().enumerate() {
             let line = raw.trim();
             let Some(rest) = line.strip_prefix("use ") else { continue };
@@ -122,15 +122,34 @@ fn util_sources_import_only_std() {
                 .unwrap_or("")
                 .trim();
             let ok = matches!(root, "std" | "core" | "alloc" | "crate" | "self" | "super")
-                || root == "catnap_util";
+                || allowed_crates.contains(&root);
             if !ok {
                 offenders.push(format!("{}:{}: {}", path.display(), i + 1, raw));
             }
         }
     }
+    offenders
+}
+
+#[test]
+fn util_sources_import_only_std() {
+    let offenders = scan_std_only(&repo_root().join("crates/util/src"), &["catnap_util"]);
     assert!(
         offenders.is_empty(),
         "catnap-util imports outside std/core/alloc/crate:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
+#[test]
+fn telemetry_sources_import_only_std_and_util() {
+    let offenders = scan_std_only(
+        &repo_root().join("crates/telemetry/src"),
+        &["catnap_util", "catnap_telemetry"],
+    );
+    assert!(
+        offenders.is_empty(),
+        "catnap-telemetry imports outside std/core/alloc/crate/catnap-util:\n  {}",
         offenders.join("\n  ")
     );
 }
@@ -153,6 +172,7 @@ fn lockfile_covers_exactly_the_workspace_crates() {
             "catnap-noc",
             "catnap-power",
             "catnap-repro",
+            "catnap-telemetry",
             "catnap-traffic",
             "catnap-util",
         ],

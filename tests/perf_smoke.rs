@@ -16,6 +16,7 @@
 
 use catnap_repro::noc::power_state::WakeReason;
 use catnap_repro::noc::{Network, NetworkConfig, NodeId};
+use catnap_repro::telemetry::{NopSink, RecordingSink, Sink};
 use std::time::Instant;
 
 /// Pinned cycles/sec floors for the scenario below, by compile profile.
@@ -31,12 +32,18 @@ const FLOOR_RELEASE_CPS: f64 = 1_500_000.0;
 /// gated 8x8 subnet, a single-flit packet every 48 cycles, a periodic
 /// sleep scan, worklist fast path enabled (the default).
 fn light_gated_cycles_per_sec(warmup: u64, measure: u64) -> f64 {
-    let mut net = Network::new(NetworkConfig::with_width(128).gating_enabled(true));
+    light_gated_cycles_per_sec_with(warmup, measure, NopSink)
+}
+
+/// Same scenario with an explicit telemetry sink attached, so the no-op
+/// and recording builds can be timed against each other in-process.
+fn light_gated_cycles_per_sec_with<S: Sink>(warmup: u64, measure: u64, sink: S) -> f64 {
+    let mut net = Network::with_sink(NetworkConfig::with_width(128).gating_enabled(true), sink);
     let nodes = net.dims().num_nodes() as u64;
     let mut eject = Vec::new();
     let mut pending: Option<(NodeId, NodeId)> = None;
     let mut n = 0u64;
-    let mut drive = |net: &mut Network, cycle: u64| {
+    let mut drive = |net: &mut Network<S>, cycle: u64| {
         if cycle % 48 == 0 {
             let src = NodeId(((n * 17 + 3) % nodes) as u16);
             let dst = NodeId(((n * 29 + 11) % nodes) as u16);
@@ -90,5 +97,45 @@ fn gated_hot_loop_meets_throughput_floor() {
     assert!(
         cps >= floor / 3.0,
         "gated hot loop ran at {cps:.0} cycles/sec, more than 3x below the pinned floor of {floor:.0}"
+    );
+}
+
+/// Telemetry overhead contract (DESIGN.md §10): the default `NopSink`
+/// build must be free. `Network::new` elaborates to `Network<NopSink>`
+/// with `Sink::ENABLED = false`, so every instrumentation guard is
+/// compiled out and the floors above — pinned before telemetry existed —
+/// apply to the instrumented build unchanged (contract: within 2% of the
+/// pre-telemetry baseline; the 3x failure margin absorbs machine noise
+/// on top of that). This test asserts both halves in one process:
+///
+/// 1. the `NopSink` path still meets the pre-telemetry floor, and
+/// 2. recording every event stays within a generous 10x of the no-op
+///    run — the bound exists to catch an accidental per-event scan or
+///    allocation storm, not to benchmark `Vec::push`.
+#[test]
+fn telemetry_noop_sink_meets_pre_telemetry_floor() {
+    if std::env::var("CATNAP_PERF_SMOKE").map(|v| v != "1").unwrap_or(true) {
+        eprintln!("perf smoke skipped (set CATNAP_PERF_SMOKE=1 to enable)");
+        return;
+    }
+    let floor = if cfg!(debug_assertions) { FLOOR_DEBUG_CPS } else { FLOOR_RELEASE_CPS };
+    let _ = light_gated_cycles_per_sec(500, 2_000);
+    let noop = light_gated_cycles_per_sec_with(1_000, 20_000, NopSink);
+    let recording = light_gated_cycles_per_sec_with(1_000, 20_000, RecordingSink::new());
+    println!(
+        "telemetry smoke: noop {:.0} cycles/sec (floor {:.0}), recording {:.0} ({:.2}x)",
+        noop,
+        floor,
+        recording,
+        noop / recording
+    );
+    assert!(
+        noop >= floor / 3.0,
+        "NopSink build ran at {noop:.0} cycles/sec, more than 3x below the pre-telemetry floor of {floor:.0}"
+    );
+    assert!(
+        recording >= noop / 10.0,
+        "recording sink slowed the loop {:.1}x (noop {noop:.0} vs recording {recording:.0} cycles/sec)",
+        noop / recording
     );
 }

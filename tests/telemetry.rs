@@ -1,0 +1,147 @@
+//! End-to-end telemetry: recording sinks on a real Catnap simulation,
+//! the Chrome-trace and CSV exporters on the collected trace, and a
+//! byte-exact golden timeline fixture.
+//!
+//! The golden pins the whole chain — event capture ordering, the cycle
+//! stamps, the epoch bucketing and the CSV writer — as one artifact.
+//! To re-pin after an intentional change, run with
+//! `CATNAP_REGEN_TRACE_GOLDEN=1` and commit the rewritten fixture (see
+//! DESIGN.md §10).
+
+use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
+use catnap_repro::telemetry::{chrome_trace, power_timeline_csv, Event, RecordingSink, Registry, Trace};
+use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload};
+use catnap_repro::util::Json;
+
+/// The fixture scenario: the 64-core 2NT-128b design (4x4 mesh, two
+/// subnets) with gating on, 400 cycles in two phases — a heavy burst
+/// for the first 3/8 of the run (drives buffer occupancy past the BFM
+/// threshold, so LCS/RCS bits flip) and a light tail (lets the higher
+/// subnet drain and sleep, so power transitions appear). Small enough
+/// that the CSV golden stays a few hundred bytes.
+fn run_traced(cycles: u64) -> Trace {
+    let cfg = MultiNocConfig::catnap_2x128_64core().gating(true).seed(9);
+    let mut net = MultiNoc::with_sinks(cfg, |_| RecordingSink::new());
+    let mut heavy = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.35, 512, net.dims(), 9);
+    let mut light = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.02, 512, net.dims(), 10);
+    for c in 0..cycles {
+        if c < cycles * 3 / 8 {
+            heavy.drive(&mut net);
+        } else {
+            light.drive(&mut net);
+        }
+        net.step();
+    }
+    net.take_trace()
+}
+
+#[test]
+fn recorded_trace_covers_every_event_kind() {
+    let t = run_traced(400);
+    assert_eq!(t.meta.cycles, 400);
+    assert_eq!((t.meta.cols, t.meta.rows), (4, 4));
+    assert_eq!(t.subnets.len(), 2);
+    let kinds = t.kind_counts();
+    // power, lcs, select, inject, eject must all appear in a gated run
+    // at this load; rcs flips are load-dependent, so only require the
+    // rest. (Index order matches `Event::KIND_NAMES`.)
+    for (i, name) in [(0, "power"), (1, "lcs"), (3, "select"), (4, "packet_inject"), (5, "packet_eject")] {
+        assert!(kinds[i] > 0, "no {name} events in a 400-cycle gated run");
+    }
+    // Streams are cycle-monotone — the exporters rely on it.
+    for stream in t.subnets.iter().chain(std::iter::once(&t.policy)) {
+        for pair in stream.windows(2) {
+            assert!(pair[0].cycle() <= pair[1].cycle(), "event stream not monotone");
+        }
+    }
+}
+
+#[test]
+fn chrome_export_reparses_and_is_selfconsistent() {
+    let t = run_traced(400);
+    let json = chrome_trace(&t);
+    let text = json.to_pretty_string();
+    let reparsed = Json::parse(&text).expect("chrome trace must be valid JSON");
+    let events = reparsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(events.len() > t.num_events() / 2, "suspiciously few trace events");
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("event ph");
+        assert!(matches!(ph, "M" | "X" | "i"), "unexpected phase {ph:?}");
+        if ph == "X" {
+            let ts = ev.get("ts").and_then(Json::as_i64).expect("X event ts");
+            let dur = ev.get("dur").and_then(Json::as_i64).expect("X event dur");
+            assert!(ts >= 0 && dur > 0 && (ts + dur) as u64 <= t.meta.cycles);
+        }
+    }
+    assert_eq!(
+        reparsed.get("otherData").and_then(|o| o.get("cycles")).and_then(Json::as_i64),
+        Some(400)
+    );
+}
+
+#[test]
+fn csv_export_census_accounts_for_every_router() {
+    let t = run_traced(400);
+    let csv = power_timeline_csv(&t, 100);
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some(
+            "epoch_start,subnet,active,sleep,wake,sleep_entries,wakeups,lcs_flips,rcs_flips,\
+             selects,injected,ejected"
+        )
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 4 * 2, "4 epochs x 2 subnets");
+    let nodes = 16u64;
+    for row in rows {
+        let cols: Vec<u64> = row.split(',').map(|c| c.parse().expect("numeric cell")).collect();
+        assert_eq!(cols.len(), 12);
+        assert_eq!(cols[2] + cols[3] + cols[4], nodes, "census must sum to the node count: {row}");
+    }
+}
+
+#[test]
+fn registry_from_trace_matches_event_counts() {
+    let t = run_traced(400);
+    let reg = Registry::from_trace(&t);
+    let kinds = t.kind_counts();
+    assert_eq!(reg.counter("events_packet_eject"), kinds[5]);
+    let ejects = t
+        .policy
+        .iter()
+        .filter(|e| matches!(e, Event::PacketEject { .. }))
+        .count() as u64;
+    let hist = reg.histogram("packet_latency_cycles").expect("latency histogram");
+    assert_eq!(hist.count(), ejects);
+    assert!(hist.mean() > 1.0, "packet latencies must be > 1 cycle");
+    assert_eq!(reg.gauge("cycles"), Some(400.0));
+}
+
+#[test]
+fn traces_are_deterministic_across_runs() {
+    let a = chrome_trace(&run_traced(400)).to_pretty_string();
+    let b = chrome_trace(&run_traced(400)).to_pretty_string();
+    assert_eq!(a, b, "identical runs must export identical traces");
+}
+
+/// Byte-exact golden: the CSV power timeline of the fixture scenario.
+#[test]
+fn csv_timeline_matches_golden_fixture() {
+    let csv = power_timeline_csv(&run_traced(400), 100);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_2x128_timeline.csv");
+    if std::env::var_os("CATNAP_REGEN_TRACE_GOLDEN").is_some() {
+        std::fs::write(path, &csv).expect("write golden");
+        println!("golden rewritten: {path}");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("read golden fixture");
+    assert_eq!(
+        csv, want,
+        "power timeline drifted from the golden fixture; if intentional, \
+         re-pin with CATNAP_REGEN_TRACE_GOLDEN=1"
+    );
+}
