@@ -67,7 +67,7 @@ pub mod select;
 pub use config::{MultiNocConfig, SelectorKind};
 pub use congestion::{CongestionMetric, MetricKind};
 pub use gating::GatingPolicy;
-pub use multinoc::{MultiNoc, RunReport, Snapshot};
+pub use multinoc::{MultiNoc, RunReport, SkipStats, Snapshot};
 pub use power_report::MultiNocPowerReport;
 pub use rcs::OrNetwork;
 pub use select::{congestion_mask, SubnetSelector};

@@ -14,7 +14,7 @@ use catnap_noc::{NodeId, RegionId, RegionMap};
 
 /// The per-subnet OR network aggregating LCS bits into per-region RCS
 /// bits.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OrNetwork {
     regions: RegionMap,
     period: u32,
@@ -123,6 +123,33 @@ impl OrNetwork {
         }
         true
     }
+
+    /// Advances `dt` cycles in closed form, equivalent to `dt` calls of
+    /// [`OrNetwork::tick`] with an all-false LCS sample while every
+    /// latched RCS bit is already false.
+    ///
+    /// Under that precondition every latch edge crossed during the skip
+    /// re-latches false-from-false: no switching events, no rising or
+    /// changed flags — only the countdown phase moves, so RCS latch edges
+    /// never bound the fast-forward horizon. (Latched-true bits cannot
+    /// occur during a skip: the multi-NoC quiescence predicate requires
+    /// all LCS *and* RCS bits clear.)
+    pub fn fast_forward(&mut self, dt: u64) {
+        debug_assert!(
+            !self.any(),
+            "fast-forward with a latched RCS bit set: the next latch would be a falling edge"
+        );
+        let cd = u64::from(self.countdown);
+        if dt >= cd {
+            // At least one latch crossed; flags are overwritten to false.
+            let into_period = (dt - cd) % u64::from(self.period);
+            self.countdown = self.period - into_period as u32;
+            self.rose.fill(false);
+            self.changed.fill(false);
+        } else {
+            self.countdown = (cd - dt) as u32;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +242,38 @@ mod tests {
     #[should_panic]
     fn zero_period_panics() {
         OrNetwork::new(quadrants(), 0);
+    }
+
+    #[test]
+    fn fast_forward_matches_idle_ticks() {
+        // Exercise every countdown phase against every skip length around
+        // multiple periods, including dt == 0 and exact latch-edge skips.
+        for phase in 0..6u64 {
+            for dt in [0u64, 1, 2, 5, 6, 7, 11, 12, 13, 100] {
+                let mut stepped = OrNetwork::paper(quadrants());
+                for _ in 0..phase {
+                    stepped.tick(|_| false);
+                }
+                let mut skipped = stepped.clone();
+                for _ in 0..dt {
+                    stepped.tick(|_| false);
+                }
+                skipped.fast_forward(dt);
+                assert_eq!(skipped, stepped, "divergence at phase {phase}, dt {dt}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_clears_stale_edge_flags() {
+        let mut or = OrNetwork::new(quadrants(), 1);
+        or.tick(|n| n == NodeId(0));
+        or.tick(|_| false); // falling edge: changed flag set, latched clear
+        assert_eq!(or.changed_regions().count(), 1);
+        let mut stepped = or.clone();
+        stepped.tick(|_| false);
+        or.fast_forward(1);
+        assert_eq!(or, stepped);
+        assert_eq!(or.changed_regions().count(), 0, "crossed latch overwrites stale flags");
     }
 }

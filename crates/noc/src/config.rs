@@ -133,6 +133,13 @@ impl NetworkConfig {
         if self.vc_depth == 0 {
             return Err("vc_depth must be non-zero".to_string());
         }
+        if self.vc_depth > crate::vc::MAX_VC_DEPTH {
+            return Err(format!(
+                "vc_depth {} exceeds the inline VC ring capacity {}",
+                self.vc_depth,
+                crate::vc::MAX_VC_DEPTH
+            ));
+        }
         if self.link_width_bits == 0 {
             return Err("link_width_bits must be non-zero".to_string());
         }

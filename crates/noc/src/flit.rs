@@ -145,6 +145,23 @@ pub struct Flit {
 }
 
 impl Flit {
+    /// An inert filler flit used to initialize fixed-capacity storage
+    /// (the inline VC ring buffers). Never enters the network: slots
+    /// holding it are outside the live `head..head+len` window.
+    pub const PLACEHOLDER: Flit = Flit {
+        packet: PacketId(u64::MAX),
+        kind: FlitKind::Single,
+        src: NodeId(0),
+        dst: NodeId(0),
+        seq: 0,
+        packet_len: 0,
+        class: MessageClass::Synthetic,
+        lookahead: Port::Local,
+        vc: 0,
+        created_cycle: 0,
+        net_inject_cycle: 0,
+    };
+
     /// Number of flits needed to carry `packet_bits` over a `link_width_bits`
     /// datapath (at least one).
     ///

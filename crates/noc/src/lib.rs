@@ -56,6 +56,7 @@ pub mod flit;
 pub mod geometry;
 pub mod network;
 pub mod power_state;
+pub mod quiescence;
 pub mod router;
 pub mod stats;
 pub mod vc;
@@ -63,7 +64,9 @@ pub mod vc;
 pub use config::{GatingConfig, NetworkConfig};
 pub use flit::{Flit, FlitKind, MessageClass, PacketDescriptor, PacketId};
 pub use geometry::{Direction, MeshDims, NodeId, Port, RegionId, RegionMap};
-pub use network::Network;
-pub use power_state::{PowerState, WakeReason};
-pub use router::Router;
+pub use network::{Network, SHADOW_REPLAY_MAX};
+pub use power_state::{PowerState, ResidencySnapshot, WakeReason};
+pub use quiescence::{Quiescence, QuiescenceTracker};
+pub use router::{Router, RouterPowerFingerprint};
 pub use stats::{NetworkStats, RouterActivity};
+pub use vc::MAX_VC_DEPTH;

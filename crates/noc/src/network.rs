@@ -67,6 +67,14 @@ pub struct Network<S: Sink = NopSink> {
 /// Marker in the adjacency table for "no link in this direction".
 const NO_NEIGHBOR: usize = usize::MAX;
 
+/// Debug builds cross-check [`Network::fast_forward`] against a
+/// cycle-by-cycle replay of cloned routers for skips up to this many
+/// cycles (longer skips would make debug runs quadratic; the bounded
+/// replay still covers every horizon-limited skip shape, since idle
+/// maturation, wake-up countdowns and detector windows are all far
+/// shorter than this).
+pub const SHADOW_REPLAY_MAX: u64 = 512;
+
 impl Network {
     /// Builds a network from a validated configuration, without
     /// telemetry (the [`NopSink`] monomorphization).
@@ -575,6 +583,70 @@ impl<S: Sink> Network<S> {
     pub fn flits_in_network(&self) -> usize {
         let in_routers: usize = self.routers.iter().map(Router::occupancy).sum();
         in_routers + self.staged_flits.len() + self.link_stage.len()
+    }
+
+    /// Whether the subnet is *quiescent*: no flit anywhere (buffers,
+    /// crossbar registers, links, staging) and no credit in flight. In
+    /// this state a [`Network::step`] degenerates to one `idle_tick`
+    /// per router, which is what [`Network::fast_forward`] replaces
+    /// with closed-form arithmetic.
+    pub fn is_quiescent(&self) -> bool {
+        self.staged_credits.is_empty() && self.ejected.is_empty() && self.flits_in_network() == 0
+    }
+
+    /// How many consecutive cycles can be skipped before some router of
+    /// this subnet changes power-state class (wake-up completing, or —
+    /// when `may_sleep` says the gating policy issues sleep requests to
+    /// this subnet every cycle — an idle counter maturing past
+    /// `t_idle_detect`). See [`Router::skip_horizon`]. Only meaningful
+    /// while [`Network::is_quiescent`] holds.
+    pub fn skip_horizon(&self, may_sleep: bool) -> u64 {
+        self.routers
+            .iter()
+            .map(|r| r.skip_horizon(may_sleep))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Advances a **quiescent** network by `dt` cycles in O(routers)
+    /// arithmetic: the clock, cycle statistics, idle counters and
+    /// power-state residencies move exactly as `dt` [`Network::step`]
+    /// calls would have moved them, with no per-cycle work. The caller
+    /// must keep `dt` within [`Network::skip_horizon`], so no
+    /// power-phase transition can fall inside the interval — which is
+    /// also why no telemetry event is ever emitted (or missed) here.
+    ///
+    /// In debug builds, skips up to [`SHADOW_REPLAY_MAX`] cycles are
+    /// shadow-replayed: the routers are cloned and ticked cycle by
+    /// cycle, and the closed form must match field-for-field.
+    pub fn fast_forward(&mut self, dt: u64) {
+        debug_assert!(self.is_quiescent(), "fast_forward on a non-quiescent network");
+        if dt == 0 {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        let shadow: Option<Vec<Router>> = (dt <= SHADOW_REPLAY_MAX).then(|| self.routers.clone());
+        self.cycle += dt;
+        self.stats.cycles += dt;
+        for r in &mut self.routers {
+            r.fast_forward(dt);
+        }
+        #[cfg(debug_assertions)]
+        if let Some(mut shadow) = shadow {
+            for r in &mut shadow {
+                for _ in 0..dt {
+                    r.idle_tick();
+                }
+            }
+            for (replayed, skipped) in shadow.iter().zip(&self.routers) {
+                debug_assert_eq!(
+                    replayed.power_fingerprint(),
+                    skipped.power_fingerprint(),
+                    "fast_forward({dt}) diverged from cycle-by-cycle replay at {}",
+                    skipped.node()
+                );
+            }
+        }
     }
 
     /// Closes out gating accounting (call once at the end of a run before

@@ -170,6 +170,61 @@ impl PowerStateMachine {
         }
     }
 
+    /// Advances the machine by `dt` cycles in O(1), equivalent to `dt`
+    /// calls of [`PowerStateMachine::tick`] **provided no state
+    /// transition falls inside the interval**. Active and Sleep are
+    /// stable (nothing external calls `enter_sleep`/`request_wake`
+    /// during a fast-forwarded stretch by construction); a wake-up
+    /// countdown is only stable for `remaining - 1` more ticks, which
+    /// the caller's skip horizon must respect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` would complete a wake-up countdown (the horizon
+    /// computation is wrong in that case — the completing tick must be
+    /// simulated normally so telemetry sees the Wake→Active edge).
+    pub fn fast_forward(&mut self, dt: u64) {
+        match self.state {
+            PowerState::Active => self.active_cycles += dt,
+            PowerState::Sleep => self.sleep_cycles += dt,
+            PowerState::WakeUp { remaining } => {
+                assert!(
+                    dt < remaining as u64,
+                    "fast-forward of {dt} across a wake-up completion ({remaining} remaining)"
+                );
+                self.wakeup_cycles += dt;
+                self.state = PowerState::WakeUp {
+                    remaining: remaining - dt as u32,
+                };
+            }
+        }
+    }
+
+    /// How many further ticks this machine is guaranteed transition-free
+    /// on its own: `None` for the stable states, `remaining - 1` for a
+    /// wake-up countdown (the completing tick itself must be stepped).
+    pub fn stable_ticks(&self) -> Option<u64> {
+        match self.state {
+            PowerState::Active | PowerState::Sleep => None,
+            PowerState::WakeUp { remaining } => Some(remaining.saturating_sub(1) as u64),
+        }
+    }
+
+    /// Full observable state, for shadow-replay equality checks.
+    pub fn residency_snapshot(&self) -> ResidencySnapshot {
+        ResidencySnapshot {
+            state: self.state,
+            sleep_started: self.sleep_started,
+            sleep_cycles: self.sleep_cycles,
+            wakeup_cycles: self.wakeup_cycles,
+            active_cycles: self.active_cycles,
+            sleep_transitions: self.sleep_transitions,
+            compensated_sleep_cycles: self.compensated_sleep_cycles,
+            raw_sleep_period_cycles: self.raw_sleep_period_cycles,
+            wake_reasons: self.wake_reasons,
+        }
+    }
+
     /// Compensated sleep cycles including the in-progress period (if any)
     /// up to `cycle`.
     pub fn compensated_at(&self, cycle: u64) -> u64 {
@@ -193,6 +248,31 @@ impl PowerStateMachine {
             self.sleep_started = cycle;
         }
     }
+}
+
+/// Every observable field of a [`PowerStateMachine`], used by the
+/// debug-mode shadow replay to assert a closed-form fast-forward equals
+/// cycle-by-cycle ticking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResidencySnapshot {
+    /// Current power state.
+    pub state: PowerState,
+    /// Start cycle of the open sleep period.
+    pub sleep_started: u64,
+    /// Total sleep cycles.
+    pub sleep_cycles: u64,
+    /// Total wake-up cycles.
+    pub wakeup_cycles: u64,
+    /// Total active cycles.
+    pub active_cycles: u64,
+    /// Sleep-period count.
+    pub sleep_transitions: u64,
+    /// Compensated sleep cycles over closed periods.
+    pub compensated_sleep_cycles: u64,
+    /// Raw sleep cycles over closed periods.
+    pub raw_sleep_period_cycles: u64,
+    /// Wake-reason histogram.
+    pub wake_reasons: [u64; 4],
 }
 
 #[cfg(test)]
@@ -282,6 +362,43 @@ mod tests {
         m.finalize(200);
         assert_eq!(m.raw_sleep_period_cycles, 100);
         assert_eq!(m.compensated_sleep_cycles, 88);
+    }
+
+    #[test]
+    fn fast_forward_matches_ticks_in_every_state() {
+        // Active, Sleep, and a partial wake-up countdown.
+        for setup in 0..3u8 {
+            let mk = || {
+                let mut m = PowerStateMachine::new(10, 12);
+                if setup >= 1 {
+                    m.tick();
+                    m.enter_sleep(1);
+                }
+                if setup == 2 {
+                    m.tick();
+                    m.request_wake(2, WakeReason::External);
+                }
+                m
+            };
+            let mut ticked = mk();
+            let mut skipped = mk();
+            let dt = if setup == 2 { 9 } else { 1000 };
+            for _ in 0..dt {
+                ticked.tick();
+            }
+            skipped.fast_forward(dt);
+            assert_eq!(skipped.residency_snapshot(), ticked.residency_snapshot(), "setup {setup}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wake-up completion")]
+    fn fast_forward_across_wake_completion_panics() {
+        let mut m = PowerStateMachine::new(4, 12);
+        m.enter_sleep(0);
+        m.request_wake(1, WakeReason::External);
+        assert_eq!(m.stable_ticks(), Some(3));
+        m.fast_forward(4);
     }
 
     #[test]

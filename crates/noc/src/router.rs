@@ -20,9 +20,24 @@
 
 use crate::flit::Flit;
 use crate::geometry::{NodeId, Port, NUM_PORTS};
-use crate::power_state::{PowerState, PowerStateMachine, WakeReason};
+use crate::power_state::{PowerState, PowerStateMachine, ResidencySnapshot, WakeReason};
 use crate::stats::{GatingActivity, RouterActivity};
 use crate::vc::{Binding, InputVc};
+
+/// Snapshot of all router state `idle_tick` can touch; two routers that
+/// compare equal here are indistinguishable to the gating layer. Used
+/// by the debug-mode shadow replay of [`Router::fast_forward`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RouterPowerFingerprint {
+    /// Whole-router power-state machine.
+    pub psm: ResidencySnapshot,
+    /// Consecutive drained cycles.
+    pub idle_cycles: u32,
+    /// Per-port idle counters.
+    pub port_idle: [u32; NUM_PORTS],
+    /// Per-port machines when port gating is enabled.
+    pub port_psm: Option<Vec<ResidencySnapshot>>,
+}
 
 /// A flit leaving a router through a mesh output port, to be delivered to
 /// the downstream router after the link cycle.
@@ -472,6 +487,76 @@ impl Router {
         }
     }
 
+    /// Advances a **drained** router by `dt` cycles in O(ports)
+    /// arithmetic, equivalent to `dt` calls of [`Router::idle_tick`]
+    /// provided `dt` does not exceed [`Router::skip_horizon`]: no
+    /// power-state machine may complete a wake-up inside the interval
+    /// (idle counters would reset and telemetry would miss the edge).
+    pub fn fast_forward(&mut self, dt: u64) {
+        debug_assert!(self.is_drained(), "fast_forward on a non-drained router {}", self.node);
+        if dt == 0 {
+            return;
+        }
+        let d32 = dt.min(u32::MAX as u64) as u32;
+        if self.psm.state().is_active() {
+            self.idle_cycles = self.idle_cycles.saturating_add(d32);
+            for pi in 0..NUM_PORTS {
+                self.port_idle[pi] = self.port_idle[pi].saturating_add(d32);
+            }
+        }
+        self.psm.fast_forward(dt);
+        if let Some(psms) = &mut self.port_psm {
+            for p in psms {
+                p.fast_forward(dt);
+            }
+        }
+    }
+
+    /// How many consecutive [`Router::idle_tick`]-equivalent cycles can
+    /// be skipped without this router changing state class.
+    ///
+    /// `may_sleep` says whether the active gating policy issues sleep
+    /// requests to this router's subnet each cycle: if so, an active
+    /// router (or port, with port gating) is only stable until its idle
+    /// counter reaches `t_idle_detect`, at which point the next policy
+    /// pass would gate it — that cycle must be simulated normally so
+    /// the Active→Sleep edge lands on the right cycle. Wake-up
+    /// countdowns are stable for `remaining - 1` cycles; Sleep (and
+    /// never-gated Active routers, whose idle counters merely saturate)
+    /// is stable indefinitely.
+    pub fn skip_horizon(&self, may_sleep: bool) -> u64 {
+        let mut dt = u64::MAX;
+        if let Some(stable) = self.psm.stable_ticks() {
+            dt = dt.min(stable);
+        } else if may_sleep && self.port_psm.is_none() && self.psm.state().is_active() {
+            dt = dt.min((self.t_idle_detect as u64).saturating_sub(self.idle_cycles as u64));
+        }
+        if let Some(psms) = &self.port_psm {
+            for (i, p) in psms.iter().enumerate() {
+                if let Some(stable) = p.stable_ticks() {
+                    dt = dt.min(stable);
+                } else if may_sleep && p.state().is_active() {
+                    dt = dt.min((self.t_idle_detect as u64).saturating_sub(self.port_idle[i] as u64));
+                }
+            }
+        }
+        dt
+    }
+
+    /// Everything `idle_tick` can touch, for shadow-replay equality
+    /// checks of [`Router::fast_forward`].
+    pub fn power_fingerprint(&self) -> RouterPowerFingerprint {
+        RouterPowerFingerprint {
+            psm: self.psm.residency_snapshot(),
+            idle_cycles: self.idle_cycles,
+            port_idle: self.port_idle,
+            port_psm: self
+                .port_psm
+                .as_ref()
+                .map(|psms| psms.iter().map(PowerStateMachine::residency_snapshot).collect()),
+        }
+    }
+
     /// Stage 2: flits granted last cycle traverse the crossbar onto links
     /// or out of the local port.
     fn switch_traversal(&mut self, out: &mut RouterOutput) {
@@ -915,6 +1000,60 @@ mod tests {
         assert_eq!(r.port_occupancy(Port::North), 1);
         assert_eq!(r.max_port_occupancy(), 2);
         assert!((r.avg_port_occupancy() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_forward_matches_idle_ticks() {
+        // Drained active router, whole-router granularity.
+        let mut a = router();
+        let mut b = a.clone();
+        let dt = a.skip_horizon(true);
+        assert_eq!(dt, 4, "fresh router is stable until idle detect matures");
+        for _ in 0..dt {
+            a.idle_tick();
+        }
+        b.fast_forward(dt);
+        assert_eq!(a.power_fingerprint(), b.power_fingerprint());
+        // Unbounded when the policy never gates this router.
+        assert_eq!(a.skip_horizon(false), u64::MAX);
+        // Sleeping router: unbounded, and closed form still matches.
+        a.enter_sleep(4);
+        let mut c = a.clone();
+        for _ in 0..1000 {
+            a.idle_tick();
+        }
+        c.fast_forward(1000);
+        assert_eq!(a.power_fingerprint(), c.power_fingerprint());
+        // Waking router: stable for remaining-1 ticks only.
+        a.request_wake(1004, WakeReason::External);
+        assert_eq!(a.skip_horizon(false), 9);
+        let mut d = a.clone();
+        for _ in 0..9 {
+            a.idle_tick();
+        }
+        d.fast_forward(9);
+        assert_eq!(a.power_fingerprint(), d.power_fingerprint());
+    }
+
+    #[test]
+    fn fast_forward_matches_idle_ticks_with_port_gating() {
+        let mut a = router();
+        a.enable_port_gating();
+        let mut out = RouterOutput::default();
+        for _ in 0..4 {
+            a.step(&ALL_ACTIVE, &mut out);
+        }
+        a.enter_port_sleep(Port::East, 4);
+        assert_eq!(a.skip_horizon(true), 0, "remaining active ports are gate-ripe");
+        let mut b = a.clone();
+        for _ in 0..700 {
+            a.idle_tick();
+        }
+        b.fast_forward(700);
+        assert_eq!(a.power_fingerprint(), b.power_fingerprint());
+        assert_eq!(a.skip_horizon(false), u64::MAX);
+        a.request_wake_port(Port::East, 800, WakeReason::External);
+        assert_eq!(a.skip_horizon(false), 9);
     }
 
     #[test]

@@ -2,7 +2,13 @@
 
 use crate::flit::Flit;
 use crate::geometry::Port;
-use std::collections::VecDeque;
+
+/// Largest supported VC buffer depth, in flits. VC buffers store their
+/// flits inline (no heap allocation per VC), so the compile-time
+/// capacity bounds the configurable depth;
+/// `NetworkConfig::validate` rejects deeper configurations. The paper's
+/// routers use depth 4; 16 covers the deep-buffer edge-case configs.
+pub const MAX_VC_DEPTH: usize = 16;
 
 /// The downstream resources a packet at the head of an input VC has been
 /// allocated: an output port and a VC at the downstream router. Held from
@@ -17,10 +23,20 @@ pub struct Binding {
 }
 
 /// One virtual-channel input buffer of a router port.
+///
+/// Flit storage is an inline fixed-capacity ring ([`MAX_VC_DEPTH`]
+/// slots of the `Copy` flit type): a router's VC array is one
+/// contiguous allocation, and enqueue/dequeue are index arithmetic with
+/// no heap traffic on the hot path. Slots outside the live window hold
+/// [`Flit::PLACEHOLDER`].
 #[derive(Clone, Debug)]
 pub struct InputVc {
-    buf: VecDeque<Flit>,
-    depth: usize,
+    slots: [Flit; MAX_VC_DEPTH],
+    /// Index of the head flit in `slots`.
+    head: u8,
+    /// Number of buffered flits.
+    len: u8,
+    depth: u8,
     binding: Option<Binding>,
     /// Cycles the head flit has waited without winning switch allocation
     /// (for the blocking-delay congestion metric).
@@ -32,12 +48,18 @@ impl InputVc {
     ///
     /// # Panics
     ///
-    /// Panics if `depth` is zero.
+    /// Panics if `depth` is zero or exceeds [`MAX_VC_DEPTH`].
     pub fn new(depth: usize) -> Self {
         assert!(depth > 0, "VC depth must be non-zero");
+        assert!(
+            depth <= MAX_VC_DEPTH,
+            "VC depth {depth} exceeds the inline ring capacity {MAX_VC_DEPTH}"
+        );
         InputVc {
-            buf: VecDeque::with_capacity(depth),
-            depth,
+            slots: [Flit::PLACEHOLDER; MAX_VC_DEPTH],
+            head: 0,
+            len: 0,
+            depth: depth as u8,
             binding: None,
             head_blocked_cycles: 0,
         }
@@ -45,22 +67,22 @@ impl InputVc {
 
     /// Number of buffered flits.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.len as usize
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len == 0
     }
 
     /// Free flit slots.
     pub fn free_space(&self) -> usize {
-        self.depth - self.buf.len()
+        (self.depth - self.len) as usize
     }
 
     /// Buffer depth in flits.
     pub fn depth(&self) -> usize {
-        self.depth
+        self.depth as usize
     }
 
     /// Enqueues an arriving flit.
@@ -69,18 +91,26 @@ impl InputVc {
     ///
     /// Panics if the buffer is full (a credit protocol violation).
     pub fn push(&mut self, flit: Flit) {
-        assert!(self.buf.len() < self.depth, "VC buffer overflow: credit protocol violated");
-        self.buf.push_back(flit);
+        assert!(self.len < self.depth, "VC buffer overflow: credit protocol violated");
+        let tail = (self.head as usize + self.len as usize) % MAX_VC_DEPTH;
+        self.slots[tail] = flit;
+        self.len += 1;
     }
 
     /// The flit at the head of the buffer.
     pub fn front(&self) -> Option<&Flit> {
-        self.buf.front()
+        (self.len > 0).then(|| &self.slots[self.head as usize])
     }
 
     /// Dequeues the head flit.
     pub fn pop(&mut self) -> Option<Flit> {
-        self.buf.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let flit = std::mem::replace(&mut self.slots[self.head as usize], Flit::PLACEHOLDER);
+        self.head = ((self.head as usize + 1) % MAX_VC_DEPTH) as u8;
+        self.len -= 1;
+        Some(flit)
     }
 
     /// Current wormhole binding, if the packet at the head has been
@@ -184,5 +214,41 @@ mod tests {
     #[should_panic]
     fn zero_depth_panics() {
         InputVc::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline ring capacity")]
+    fn over_capacity_depth_panics() {
+        InputVc::new(MAX_VC_DEPTH + 1);
+    }
+
+    #[test]
+    fn ring_wraps_preserving_fifo_order() {
+        // Interleave pushes and pops long enough to wrap the ring many
+        // times at every fill level.
+        for depth in 1..=MAX_VC_DEPTH {
+            let mut vc = InputVc::new(depth);
+            let mut next_in = 0u16;
+            let mut next_out = 0u16;
+            for round in 0..100 {
+                let burst = 1 + (round % depth);
+                for _ in 0..burst.min(vc.free_space()) {
+                    vc.push(flit(next_in));
+                    next_in += 1;
+                }
+                assert_eq!(vc.front().map(|f| f.seq), Some(next_out));
+                for _ in 0..1 + (round % 2) {
+                    if let Some(f) = vc.pop() {
+                        assert_eq!(f.seq, next_out, "FIFO order broken at depth {depth}");
+                        next_out += 1;
+                    }
+                }
+            }
+            while let Some(f) = vc.pop() {
+                assert_eq!(f.seq, next_out);
+                next_out += 1;
+            }
+            assert_eq!(next_in, next_out, "every pushed flit popped exactly once");
+        }
     }
 }

@@ -19,7 +19,11 @@
 //!   ([`chrome_trace`]) whose output loads in `chrome://tracing` and
 //!   Perfetto;
 //! * [`csv`] — a per-epoch CSV timeline exporter
-//!   ([`power_timeline_csv`]).
+//!   ([`power_timeline_csv`]);
+//! * [`diff`] — trace and CSV-timeline comparison ([`diff_traces`],
+//!   [`diff_csv_timelines`]): first divergent cycle plus per-kind event
+//!   count deltas, used by the fast-forward equivalence suite and the
+//!   `trace_diff` example CLI.
 //!
 //! The crate depends only on `catnap-util` (for its JSON value type) and
 //! the standard library, per the hermetic-workspace policy in DESIGN.md
@@ -29,12 +33,14 @@
 
 pub mod chrome;
 pub mod csv;
+pub mod diff;
 pub mod event;
 pub mod metrics;
 pub mod sink;
 
 pub use chrome::chrome_trace;
 pub use csv::power_timeline_csv;
+pub use diff::{diff_csv_timelines, diff_traces, CsvDiff, TraceDiff};
 pub use event::{Event, PowerPhase, SinkScope, Trace, TraceMeta};
 pub use metrics::{Histogram, Registry};
 pub use sink::{CountingSink, NopSink, RecordingSink, Sink};

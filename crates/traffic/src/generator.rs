@@ -2,8 +2,9 @@
 
 use crate::patterns::SyntheticPattern;
 use crate::schedule::LoadSchedule;
-use catnap_noc::{MeshDims, MessageClass, PacketDescriptor, PacketId};
+use catnap_noc::{MeshDims, MessageClass, NodeId, PacketDescriptor, PacketId};
 use catnap_util::SimRng;
+use std::collections::VecDeque;
 
 /// Anything that can accept generated packets: the Multi-NoC network
 /// interface layer implements this.
@@ -12,6 +13,51 @@ pub trait PacketSink {
     fn now(&self) -> u64;
     /// Submits a packet to the source queue of `desc.src`.
     fn submit(&mut self, desc: PacketDescriptor);
+}
+
+/// A packet source that can be driven cycle-by-cycle *and* asked when
+/// its next packet will arrive, which is what lets
+/// `MultiNoc::step_until` fast-forward across provably packet-free
+/// stretches.
+///
+/// The contract binding the two methods: after `drive` has been called
+/// with `now() == c`, `next_arrival_cycle(c + 1, limit)` returns the
+/// first cycle in `[c + 1, limit)` at which a future `drive` would
+/// submit at least one packet, or `limit` if there is none. Sources
+/// backed by an RNG may *pre-draw* future cycles to answer — the draws
+/// are buffered and replayed by later `drive` calls, so the overall
+/// random stream is consumed in exactly the same order as pure
+/// cycle-by-cycle driving (the determinism goldens depend on this).
+pub trait TrafficSource {
+    /// Submits this cycle's packets into `sink` (once per simulated
+    /// cycle, before stepping the network).
+    fn drive<S: PacketSink>(&mut self, sink: &mut S);
+
+    /// First cycle in `[from, limit)` with an arrival, else `limit`.
+    fn next_arrival_cycle(&mut self, from: u64, limit: u64) -> u64;
+}
+
+/// A [`TrafficSource`] that never generates anything — for drain phases
+/// (`step_until` past the last arrival) and idle-power measurements.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdleSource;
+
+impl TrafficSource for IdleSource {
+    fn drive<S: PacketSink>(&mut self, _sink: &mut S) {}
+    fn next_arrival_cycle(&mut self, _from: u64, limit: u64) -> u64 {
+        limit
+    }
+}
+
+/// An arrival drawn ahead of its simulation cycle by
+/// [`SyntheticWorkload::next_arrival_cycle`], waiting for `drive` to
+/// submit it. Ids are assigned at submission so `generated()` keeps its
+/// "packets handed to the sink" meaning.
+#[derive(Clone, Copy, Debug)]
+struct PendingArrival {
+    cycle: u64,
+    src: NodeId,
+    dst: NodeId,
 }
 
 /// A [`PacketSink`] that just collects packets (for tests and trace
@@ -49,6 +95,10 @@ pub struct SyntheticWorkload {
     rng: SimRng,
     next_id: u64,
     generated: u64,
+    /// Cycles `< scanned_to` have had their Bernoulli/pattern draws
+    /// taken; their arrivals sit in `pending` until driven.
+    scanned_to: u64,
+    pending: VecDeque<PendingArrival>,
 }
 
 impl SyntheticWorkload {
@@ -74,6 +124,8 @@ impl SyntheticWorkload {
             rng: SimRng::seed_from_u64(seed),
             next_id: 0,
             generated: 0,
+            scanned_to: 0,
+            pending: VecDeque::new(),
         }
     }
 
@@ -91,6 +143,40 @@ impl SyntheticWorkload {
     /// before stepping the network).
     pub fn drive<S: PacketSink>(&mut self, sink: &mut S) {
         let cycle = sink.now();
+        // Cycles the caller never drove generate nothing and draw
+        // nothing (the pre-buffering behaviour); skipping over them
+        // only happens for cycles `next_arrival_cycle` already scanned.
+        if self.scanned_to < cycle {
+            self.scanned_to = cycle;
+        }
+        if self.scanned_to == cycle {
+            self.scan_one_cycle();
+        }
+        while let Some(p) = self.pending.front() {
+            if p.cycle > cycle {
+                break;
+            }
+            let p = self.pending.pop_front().expect("front just checked");
+            let desc = PacketDescriptor {
+                id: PacketId(self.next_id),
+                src: p.src,
+                dst: p.dst,
+                bits: self.packet_bits,
+                class: MessageClass::Synthetic,
+                created_cycle: p.cycle,
+            };
+            self.next_id += 1;
+            self.generated += 1;
+            sink.submit(desc);
+        }
+    }
+
+    /// Takes cycle `self.scanned_to`'s random draws — in exactly the
+    /// order the pre-buffering `drive` loop used to take them inline —
+    /// and buffers any resulting arrivals.
+    fn scan_one_cycle(&mut self) {
+        let cycle = self.scanned_to;
+        self.scanned_to += 1;
         let rate = self.schedule.rate_at(cycle);
         if rate <= 0.0 {
             return;
@@ -102,18 +188,31 @@ impl SyntheticWorkload {
             let Some(dst) = self.pattern.destination(src, self.dims, &mut self.rng) else {
                 continue;
             };
-            let desc = PacketDescriptor {
-                id: PacketId(self.next_id),
-                src,
-                dst,
-                bits: self.packet_bits,
-                class: MessageClass::Synthetic,
-                created_cycle: cycle,
-            };
-            self.next_id += 1;
-            self.generated += 1;
-            sink.submit(desc);
+            self.pending.push_back(PendingArrival { cycle, src, dst });
         }
+    }
+}
+
+impl TrafficSource for SyntheticWorkload {
+    fn drive<S: PacketSink>(&mut self, sink: &mut S) {
+        SyntheticWorkload::drive(self, sink);
+    }
+
+    fn next_arrival_cycle(&mut self, from: u64, limit: u64) -> u64 {
+        // Arrivals already drawn (pending is sorted by cycle): a
+        // stale entry below `from` is still an arrival the next `drive`
+        // will submit, so it counts as "now".
+        if let Some(p) = self.pending.front() {
+            return p.cycle.max(from).min(limit);
+        }
+        while self.scanned_to < limit {
+            let scanned = self.scanned_to;
+            self.scan_one_cycle();
+            if !self.pending.is_empty() {
+                return scanned.max(from);
+            }
+        }
+        limit
     }
 }
 
@@ -182,6 +281,49 @@ mod tests {
             w.drive(&mut sink);
         }
         assert!(sink.packets.len() > 2000, "burst should generate ~3200 packets");
+    }
+
+    #[test]
+    fn next_arrival_prescan_preserves_rng_order() {
+        // Interleaving next_arrival_cycle lookahead with drive must
+        // yield exactly the stream pure per-cycle driving yields.
+        let mk = || SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.01, 512, mesh8(), 42);
+        let mut plain = mk();
+        let mut plain_sink = CollectSink::default();
+        for c in 0..4000 {
+            plain_sink.cycle = c;
+            plain.drive(&mut plain_sink);
+        }
+        let mut skippy = mk();
+        let mut skip_sink = CollectSink::default();
+        let mut c = 0u64;
+        while c < 4000 {
+            skip_sink.cycle = c;
+            skippy.drive(&mut skip_sink);
+            // Jump straight to the next arrival, like step_until does.
+            c = TrafficSource::next_arrival_cycle(&mut skippy, c + 1, 4000);
+        }
+        assert_eq!(skip_sink.packets, plain_sink.packets);
+        assert_eq!(skippy.generated(), plain.generated());
+    }
+
+    #[test]
+    fn next_arrival_zero_rate_is_limit() {
+        let sched = LoadSchedule::piecewise(vec![(0, 0.0), (500, 0.9)]);
+        let mut w = SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, sched, 512, mesh8(), 9);
+        assert_eq!(w.next_arrival_cycle(0, 400), 400, "no draws before the burst");
+        assert_eq!(w.next_arrival_cycle(0, 501), 500, "burst at 0.9/node fires on its first cycle");
+        let mut w2 = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.0, 512, mesh8(), 9);
+        assert_eq!(w2.next_arrival_cycle(7, 1_000_000), 1_000_000);
+    }
+
+    #[test]
+    fn idle_source_never_arrives() {
+        let mut idle = IdleSource;
+        assert_eq!(idle.next_arrival_cycle(3, 99), 99);
+        let mut sink = CollectSink::default();
+        TrafficSource::drive(&mut idle, &mut sink);
+        assert!(sink.packets.is_empty());
     }
 
     #[test]

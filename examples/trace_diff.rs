@@ -1,0 +1,95 @@
+//! Compare two telemetry artifacts and report where they stopped
+//! agreeing: the first divergent cycle (or CSV line) plus per-kind
+//! event-count deltas. The regression companion of the simulator's
+//! bit-identity promise — point it at the timelines of a suspect run and
+//! a known-good baseline.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example trace_diff -- a.csv b.csv
+//! cargo run --release --example trace_diff -- --demo
+//! ```
+//!
+//! With `--demo` it generates the comparison in-process: one
+//! `4NT-128b-PG` run stepped cycle-by-cycle and one driven through
+//! `step_until`'s quiescence fast-forward, then diffs the full event
+//! traces and the exported CSV timelines (both must come out
+//! identical). Exits 0 when identical, 1 on divergence, 2 on usage
+//! errors.
+
+use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
+use catnap_repro::telemetry::{
+    diff_csv_timelines, diff_traces, power_timeline_csv, RecordingSink,
+};
+use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload};
+use std::process::ExitCode;
+
+const DEMO_CYCLES: u64 = 20_000;
+const DEMO_EPOCH: u64 = 512;
+
+fn demo() -> ExitCode {
+    let cfg = || MultiNocConfig::catnap_4x128().gating(true).seed(23);
+    let load = |dims| SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.0005, 512, dims, 23);
+
+    let mut baseline = MultiNoc::with_sinks(cfg(), |_| RecordingSink::new());
+    baseline.set_force_full_step(true);
+    let mut lb = load(baseline.dims());
+    baseline.step_until(&mut lb, DEMO_CYCLES);
+
+    let mut fast = MultiNoc::with_sinks(cfg(), |_| RecordingSink::new());
+    let mut lf = load(fast.dims());
+    fast.step_until(&mut lf, DEMO_CYCLES);
+
+    let skips = fast.skip_stats();
+    println!(
+        "fast-forward: {} skips covering {} of {DEMO_CYCLES} cycles",
+        skips.skips, skips.skipped_cycles
+    );
+
+    let ta = baseline.take_trace();
+    let tb = fast.take_trace();
+    let trace_diff = diff_traces(&ta, &tb);
+    println!("trace diff:    {trace_diff}");
+    let csv_diff = diff_csv_timelines(
+        &power_timeline_csv(&ta, DEMO_EPOCH),
+        &power_timeline_csv(&tb, DEMO_EPOCH),
+    );
+    println!("timeline diff: {csv_diff}");
+
+    if trace_diff.is_identical() && csv_diff.is_identical() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag] if flag == "--demo" => demo(),
+        [path_a, path_b] => {
+            let read = |p: &str| match std::fs::read_to_string(p) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("trace_diff: cannot read {p}: {e}");
+                    None
+                }
+            };
+            let (Some(a), Some(b)) = (read(path_a), read(path_b)) else {
+                return ExitCode::from(2);
+            };
+            let d = diff_csv_timelines(&a, &b);
+            println!("{d}");
+            if d.is_identical() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: trace_diff <a.csv> <b.csv>  (or --demo)");
+            ExitCode::from(2)
+        }
+    }
+}
