@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, test, lint. Run from the repo root.
+#
+# The workspace is hermetic (no external crates), so everything runs
+# with --offline. Clippy is pinned at -D warnings: a warning anywhere
+# in the workspace, including tests and benches, fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== test =="
+cargo test -q --offline
+
+echo "== clippy (workspace, all targets, -D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all green"

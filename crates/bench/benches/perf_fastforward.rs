@@ -9,9 +9,10 @@
 //! collapses quiescent stretches into O(routers) arithmetic skips. The
 //! bench asserts they end bit-identical (snapshot and final report) and
 //! that the fast run is at least 5x quicker end-to-end — the
-//! acceptance floor for the engine. A second, moderate-load scenario is
-//! timed as well to document that the assessment overhead stays in the
-//! noise when there is nothing to skip.
+//! acceptance floor for the engine. A second, busy scenario (one subnet
+//! near saturation, three gated) times the event/wakeup scheduler
+//! against the same forced per-cycle baseline when there is nothing
+//! quiescent to skip.
 
 use catnap::{MultiNoc, MultiNocConfig, SkipStats, Snapshot};
 use catnap_bench::{emit_json, print_banner, Table};
@@ -47,7 +48,7 @@ struct PerfFastForward {
     fastforward_speedup: f64,
     skipped_fraction: f64,
     quiescent_assessment_fraction: f64,
-    busy_overhead_ratio: f64,
+    busy_eventdriven_speedup: f64,
     scenarios: Vec<Scenario>,
 }
 
@@ -55,7 +56,7 @@ catnap_util::impl_to_json_struct!(PerfFastForward {
     fastforward_speedup,
     skipped_fraction,
     quiescent_assessment_fraction,
-    busy_overhead_ratio,
+    busy_eventdriven_speedup,
     scenarios,
 });
 
@@ -120,19 +121,24 @@ fn main() {
         "fast-forward speedup {fastforward_speedup:.2}x is below the 5x acceptance floor"
     );
 
-    // --- Moderate load: nothing to skip, assessment must be cheap ---
-    // At 0.05 packets/node/cycle the system is almost never quiescent;
-    // the ratio documents what the skip *assessment* costs when it
-    // always answers "busy" (should stay near 1.0).
+    // --- Busy load: the event-driven core's regime ---
+    // At 0.05 packets/node/cycle one subnet runs near saturation (the
+    // other three stay gated) and the system is almost never quiescent,
+    // so the fast-forward layer contributes nothing; the ratio measures
+    // what the event/wakeup scheduler and the mask-driven allocator buy
+    // over the forced scan-everything baseline when there is real work
+    // every cycle. The win is bounded by Amdahl: the saturated subnet's
+    // router work is shared by both modes, and only the gated subnets'
+    // scan cost is eliminated outright.
     const BUSY_OFFERED: f64 = 0.05;
     const BUSY_CYCLES: u64 = 20_000;
     let (busy_full, _, busy_snap_full, busy_del_full) =
         run_timed("busy_gated_full_step", BUSY_OFFERED, BUSY_CYCLES, true);
     let (busy_fast, _, busy_snap_fast, busy_del_fast) =
-        run_timed("busy_gated_fastforward", BUSY_OFFERED, BUSY_CYCLES, false);
+        run_timed("busy_gated_eventdriven", BUSY_OFFERED, BUSY_CYCLES, false);
     assert_eq!(busy_snap_full, busy_snap_fast, "busy runs must also be bit-identical");
     assert_eq!(busy_del_full, busy_del_fast);
-    let busy_overhead_ratio = busy_full.cycles_per_sec / busy_fast.cycles_per_sec;
+    let busy_eventdriven_speedup = busy_fast.cycles_per_sec / busy_full.cycles_per_sec;
 
     let scenarios = vec![full, fast, busy_full, busy_fast];
     let mut table = Table::new(["scenario", "cycles", "Mcycles/s", "skipped", "skips"]);
@@ -154,13 +160,13 @@ fn main() {
         stats.quiescent_assessments,
         stats.assessments
     );
-    println!("busy-load overhead ratio:  {busy_overhead_ratio:.2}x (assessment cost when never quiescent)");
+    println!("busy event-driven speedup: {busy_eventdriven_speedup:.2}x (saturated subnet, nothing quiescent)");
 
     let report = PerfFastForward {
         fastforward_speedup,
         skipped_fraction,
         quiescent_assessment_fraction,
-        busy_overhead_ratio,
+        busy_eventdriven_speedup,
         scenarios,
     };
     emit_json("perf_fastforward", &report);

@@ -86,7 +86,7 @@ fn run_network_timed(scenario: &str, gap: u64, warmup: u64, measure: u64, force_
     let mut pending: Option<(NodeId, NodeId)> = None;
     let mut n = 0u64;
     let mut drive = |net: &mut Network, cycle: u64| {
-        if cycle % gap == 0 {
+        if cycle.is_multiple_of(gap) {
             let src = NodeId(((n * 17 + 3) % nodes) as u16);
             let dst = NodeId(((n * 29 + 11) % nodes) as u16);
             n += 1;
@@ -104,7 +104,7 @@ fn run_network_timed(scenario: &str, gap: u64, warmup: u64, measure: u64, force_
                 net.request_wake(src, WakeReason::NiInjection);
             }
         }
-        if cycle % 16 == 0 {
+        if cycle.is_multiple_of(16) {
             for node in net.dims().nodes() {
                 net.request_sleep(node);
             }

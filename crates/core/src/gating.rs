@@ -84,6 +84,12 @@ impl GatingPolicy {
             GatingPolicy::None => {}
             GatingPolicy::LocalIdle => {
                 for net in subnets.iter_mut() {
+                    // A fully sleeping subnet rejects every request (the
+                    // sleep guard needs an Active machine), so the sweep
+                    // is a provable no-op.
+                    if net.all_asleep() {
+                        continue;
+                    }
                     for node in dims.nodes() {
                         net.request_sleep(node);
                     }
@@ -105,6 +111,13 @@ impl GatingPolicy {
             }
             GatingPolicy::CatnapRcs => {
                 for h in 1..k {
+                    // With subnet h-1's RCS fully clear, every branch
+                    // below is a sleep request; if subnet h is already
+                    // fully asleep those are all rejected by the sleep
+                    // guard, so the sweep is a provable no-op.
+                    if !or_nets[h - 1].any() && subnets[h].all_asleep() {
+                        continue;
+                    }
                     for node in dims.nodes() {
                         if or_nets[h - 1].rcs_at(node) {
                             subnets[h].request_wake(node, WakeReason::RegionalCongestion);

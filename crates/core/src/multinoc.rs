@@ -3,7 +3,7 @@
 //! policies.
 
 use crate::config::{MultiNocConfig, RegionMode, SelectorKind};
-use crate::congestion::{LocalDetector, NodeSignals};
+use crate::congestion::{CongestionMetric, LocalDetector, NodeSignals};
 use crate::ni::NodeNi;
 use crate::rcs::OrNetwork;
 use crate::select::{congestion_mask, CatnapPriority, RandomSelect, RoundRobin, SubnetSelector};
@@ -47,6 +47,19 @@ pub struct MultiNoc<S: Sink = NopSink> {
     track_deliveries: bool,
     /// Cycles each node's NI-queue head has waited behind a busy slot.
     head_wait: Vec<u32>,
+    /// Whether each NI is on the busy worklist (`busy_nis`).
+    ni_busy: Vec<bool>,
+    /// Indices of NIs with pending work, kept sorted ascending so the
+    /// per-NI phase visits them in node order (the subnet selector draws
+    /// from one RNG in visit order, so order is load-bearing). An NI
+    /// joins at `submit` and leaves at the end of a cycle that observes
+    /// it idle — the exact condition under which its per-cycle body is a
+    /// no-op. Ignored under forced full stepping (the canonical
+    /// all-nodes scan runs instead).
+    busy_nis: Vec<u32>,
+    /// Per-subnet count of set local-congestion bits (`lcs[s]`), so the
+    /// detector and OR-network elisions can test "all clear" in O(1).
+    lcs_set: Vec<usize>,
     /// Pool stepping the subnets in parallel; `None` = strictly serial.
     pool: Option<ThreadPool>,
     /// Reusable buffer for per-subnet ejection drains (no per-cycle
@@ -147,6 +160,9 @@ impl<S: Sink> MultiNoc<S> {
             delivered_tails: Vec::new(),
             track_deliveries: false,
             head_wait: vec![0; nodes],
+            ni_busy: vec![false; nodes],
+            busy_nis: Vec::new(),
+            lcs_set: vec![0; k],
             pool,
             eject_buf: Vec::new(),
             congested_buf: Vec::with_capacity(k),
@@ -234,57 +250,101 @@ impl<S: Sink> MultiNoc<S> {
         self.or_nets[s].rcs_at(node)
     }
 
+    /// One NI's per-cycle body: refill, subnet assignment, injection.
+    /// For an idle NI (empty queues, no in-flight slot, zero head wait)
+    /// this is an exact no-op — which is what lets the busy worklist
+    /// skip idle NIs without perturbing anything.
+    fn ni_cycle(&mut self, idx: usize) {
+        let k = self.cfg.subnets;
+        let node = NodeId(idx as u16);
+        self.nis[idx].refill();
+        if self.nis[idx].head_waiting() {
+            // A subnet is unattractive if it looks congested (local or
+            // regional status), or — under the NI spill rule — if its
+            // injection slot has been busy for too long while this
+            // head waited (injection-bandwidth congestion that router
+            // buffers cannot reveal).
+            let spill = self.cfg.spill_wait_cycles;
+            let stuck = spill > 0 && self.head_wait[idx] >= spill;
+            self.congested_buf.clear();
+            for s in 0..k {
+                let c = self.congestion_view(s, node) || (stuck && !self.nis[idx].slot_free(s));
+                self.congested_buf.push(c);
+            }
+            let s = self.selector.select(idx, &self.congested_buf);
+            if self.nis[idx].slot_free(s) {
+                if S::ENABLED {
+                    self.policy_sink.record(Event::Select {
+                        cycle: self.cycle,
+                        node: idx as u16,
+                        subnet: s as u8,
+                        congested_mask: congestion_mask(&self.congested_buf),
+                    });
+                    if let Some(desc) = self.nis[idx].head_packet() {
+                        self.policy_sink.record(Event::PacketInject {
+                            cycle: self.cycle,
+                            id: desc.id.0,
+                            subnet: s as u8,
+                            src: desc.src.0,
+                            dst: desc.dst.0,
+                        });
+                    }
+                }
+                self.nis[idx].start_head_packet(s);
+                self.head_wait[idx] = 0;
+            } else {
+                self.head_wait[idx] = self.head_wait[idx].saturating_add(1);
+            }
+        } else {
+            self.head_wait[idx] = 0;
+        }
+        for s in 0..k {
+            self.nis[idx].inject_into(s, &mut self.subnets[s]);
+        }
+    }
+
+    /// Whether this cycle's detector sweep over subnet `s` is a provable
+    /// no-op that may be skipped. Holds only for the memoryless
+    /// hysteresis metrics observing an all-zero sample against an
+    /// all-clear status vector — and only with a non-degenerate set
+    /// threshold (a `set` of zero would latch congestion on a zero
+    /// sample). The windowed metrics (InjectionRate, Delay) mutate their
+    /// window position every cycle and are never skipped.
+    fn detector_sweep_elidable(&self, s: usize) -> bool {
+        if self.force_full || self.lcs_set[s] != 0 {
+            return false;
+        }
+        match self.cfg.metric {
+            // Zero buffer occupancy everywhere: guaranteed by every
+            // router of the subnet being drained (flits still on links
+            // are invisible to port occupancy until delivered).
+            CongestionMetric::Bfm { set, .. } => set > 0 && self.subnets[s].all_drained(),
+            CongestionMetric::Bfa { set, .. } => set > 0.0 && self.subnets[s].all_drained(),
+            // Zero NI-queue occupancy everywhere: guaranteed by an empty
+            // busy worklist (every NI idle).
+            CongestionMetric::IqOcc { set, .. } => set > 0 && self.busy_nis.is_empty(),
+            CongestionMetric::InjectionRate { .. } | CongestionMetric::Delay { .. } => false,
+        }
+    }
+
     /// Advances the whole design by one cycle.
     pub fn step(&mut self) {
         let k = self.cfg.subnets;
 
         // --- Network interfaces: refill, subnet assignment, injection ---
-        for idx in 0..self.nis.len() {
-            let node = NodeId(idx as u16);
-            self.nis[idx].refill();
-            if self.nis[idx].head_waiting() {
-                // A subnet is unattractive if it looks congested (local or
-                // regional status), or — under the NI spill rule — if its
-                // injection slot has been busy for too long while this
-                // head waited (injection-bandwidth congestion that router
-                // buffers cannot reveal).
-                let spill = self.cfg.spill_wait_cycles;
-                let stuck = spill > 0 && self.head_wait[idx] >= spill;
-                self.congested_buf.clear();
-                for s in 0..k {
-                    let c = self.congestion_view(s, node) || (stuck && !self.nis[idx].slot_free(s));
-                    self.congested_buf.push(c);
-                }
-                let s = self.selector.select(idx, &self.congested_buf);
-                if self.nis[idx].slot_free(s) {
-                    if S::ENABLED {
-                        self.policy_sink.record(Event::Select {
-                            cycle: self.cycle,
-                            node: idx as u16,
-                            subnet: s as u8,
-                            congested_mask: congestion_mask(&self.congested_buf),
-                        });
-                        if let Some(desc) = self.nis[idx].head_packet() {
-                            self.policy_sink.record(Event::PacketInject {
-                                cycle: self.cycle,
-                                id: desc.id.0,
-                                subnet: s as u8,
-                                src: desc.src.0,
-                                dst: desc.dst.0,
-                            });
-                        }
-                    }
-                    self.nis[idx].start_head_packet(s);
-                    self.head_wait[idx] = 0;
-                } else {
-                    self.head_wait[idx] = self.head_wait[idx].saturating_add(1);
-                }
-            } else {
-                self.head_wait[idx] = 0;
+        if self.force_full {
+            for idx in 0..self.nis.len() {
+                self.ni_cycle(idx);
             }
-            for s in 0..k {
-                self.nis[idx].inject_into(s, &mut self.subnets[s]);
+        } else {
+            // Only NIs with pending work; their per-cycle body is the
+            // identity for the rest. Worklist drops happen at the end of
+            // the cycle (after injection counters are consumed).
+            let list = std::mem::take(&mut self.busy_nis);
+            for &idxu in &list {
+                self.ni_cycle(idxu as usize);
             }
+            self.busy_nis = list;
         }
 
         // --- Power-gating policy ---
@@ -339,6 +399,9 @@ impl<S: Sink> MultiNoc<S> {
 
         // --- Local congestion detection (post-step state) ---
         for s in 0..k {
+            if self.detector_sweep_elidable(s) {
+                continue;
+            }
             for idx in 0..self.nis.len() {
                 let node = NodeId(idx as u16);
                 let signals = NodeSignals {
@@ -348,28 +411,62 @@ impl<S: Sink> MultiNoc<S> {
                 let det = &mut self.detectors[s][idx];
                 det.update(&self.cfg.metric, self.subnets[s].router(node), &signals);
                 let now = det.is_congested();
-                if S::ENABLED && now != self.lcs[s][idx] {
-                    self.policy_sink.record(Event::Lcs {
-                        cycle: self.cycle,
-                        subnet: s as u8,
-                        node: idx as u16,
-                        on: now,
-                    });
+                if now != self.lcs[s][idx] {
+                    if now {
+                        self.lcs_set[s] += 1;
+                    } else {
+                        self.lcs_set[s] -= 1;
+                    }
+                    if S::ENABLED {
+                        self.policy_sink.record(Event::Lcs {
+                            cycle: self.cycle,
+                            subnet: s as u8,
+                            node: idx as u16,
+                            on: now,
+                        });
+                    }
                 }
                 self.lcs[s][idx] = now;
             }
         }
-        for (idx, ni) in self.nis.iter_mut().enumerate() {
-            let _ = idx;
-            for (s, &flits) in ni.injected_flits_this_cycle.iter().enumerate() {
-                self.injected_flits_per_subnet[s] += u64::from(flits);
+        if self.force_full {
+            for ni in self.nis.iter_mut() {
+                for (s, &flits) in ni.injected_flits_this_cycle.iter().enumerate() {
+                    self.injected_flits_per_subnet[s] += u64::from(flits);
+                }
+                ni.end_cycle();
             }
-            ni.end_cycle();
+        } else {
+            // Only busy NIs can have injected this cycle; this is also
+            // where NIs observed idle leave the worklist (after their
+            // counters were consumed by the detectors above).
+            let mut list = std::mem::take(&mut self.busy_nis);
+            list.retain(|&idxu| {
+                let ni = &mut self.nis[idxu as usize];
+                for (s, &flits) in ni.injected_flits_this_cycle.iter().enumerate() {
+                    self.injected_flits_per_subnet[s] += u64::from(flits);
+                }
+                ni.end_cycle();
+                let keep = !ni.is_idle();
+                if !keep {
+                    self.ni_busy[idxu as usize] = false;
+                }
+                keep
+            });
+            self.busy_nis = list;
         }
 
         // --- Regional OR networks ---
         for s in 0..k {
             let lcs = &self.lcs[s];
+            if !self.force_full && self.lcs_set[s] == 0 && !self.or_nets[s].any() {
+                // All-false sample into an all-clear network: a latch (if
+                // one falls here) observes no set bit and reports no
+                // change, so only the countdown moves — which the
+                // one-cycle closed form reproduces exactly.
+                self.or_nets[s].fast_forward(1);
+                continue;
+            }
             let latched = self.or_nets[s].tick(|n| lcs[n.index()]);
             if S::ENABLED && latched {
                 for region in self.or_nets[s].changed_regions() {
@@ -427,7 +524,7 @@ impl<S: Sink> MultiNoc<S> {
     /// power-state counters.
     pub fn is_quiescent(&self) -> bool {
         self.packets_outstanding() == 0
-            && self.lcs.iter().all(|per_node| per_node.iter().all(|&b| !b))
+            && self.lcs_set.iter().all(|&c| c == 0)
             && self.or_nets.iter().all(|or| !or.any())
     }
 
@@ -608,7 +705,13 @@ impl<S: Sink> PacketSink for MultiNoc<S> {
 
     fn submit(&mut self, desc: PacketDescriptor) {
         self.generated_packets += 1;
-        self.nis[desc.src.index()].submit(desc);
+        let idx = desc.src.index();
+        if !self.ni_busy[idx] {
+            self.ni_busy[idx] = true;
+            let pos = self.busy_nis.partition_point(|&i| (i as usize) < idx);
+            self.busy_nis.insert(pos, idx as u32);
+        }
+        self.nis[idx].submit(desc);
     }
 }
 

@@ -9,6 +9,8 @@ use crate::power_state::{PowerState, WakeReason};
 use crate::router::{Router, RouterOutput};
 use crate::stats::{GatingActivity, NetworkStats, RouterActivity};
 use catnap_telemetry::{Event, NopSink, PowerPhase, Sink};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A single physical network-on-chip (one subnet of a Multi-NoC).
 ///
@@ -51,9 +53,57 @@ pub struct Network<S: Sink = NopSink> {
     /// entries of `link_stage` plus `staged_flits` headed to that input,
     /// so the sleep guards need no linear scan.
     inflight: Vec<u32>,
-    /// Disables the drained-router fast path so every router runs the
-    /// full `step` each cycle (perf baseline; results are identical).
+    /// Disables the event scheduler entirely so every router runs the
+    /// full reference `step` each cycle (perf baseline and differential
+    /// twin; results are identical).
     force_full_step: bool,
+    /// Event scheduler: the cycle through which each router's *time
+    /// accounting* (idle counters, power-state residencies) has been
+    /// advanced. Flit-path state (buffers, credits, bindings, crossbar)
+    /// is always live. Invariant: `cursor[i] < cycle` implies router `i`
+    /// was drained at `cursor[i]` and has received nothing since, so the
+    /// deferred stretch is a run of pure idle ticks, materializable in
+    /// closed form by [`Network::sync_to`].
+    cursor: Vec<u64>,
+    /// Scheduling epoch per router: the cycle for which the router is
+    /// already queued to run (deduplicates hot-set insertion).
+    hot_stamp: Vec<u64>,
+    /// Routers queued to run on the *next* step (stamped `cycle + 1`).
+    next_hot: Vec<u32>,
+    /// Routers queued to run on the current step, popped in index order
+    /// (index order is load-bearing: wake completions flip `port_active`
+    /// mid-phase at the completing router's position, and later routers
+    /// must observe that exactly as the per-cycle loop would). A heap,
+    /// not a sorted list, because in-step wake requests may insert
+    /// not-yet-reached indices mid-iteration.
+    todo: BinaryHeap<Reverse<u32>>,
+    /// Time-ordered wakeup queue: `(due_cycle, router, cursor stamp)`.
+    /// An entry is valid only while the router's cursor still equals the
+    /// stamp it was pushed with (lazy invalidation: any materialization
+    /// or re-request simply pushes a fresh entry). A *deferred* router
+    /// with a pending wake-up countdown always holds a valid entry whose
+    /// `due_cycle` is exactly the cycle its countdown completes.
+    wakeups: BinaryHeap<Reverse<(u64, u32, u64)>>,
+    /// Routers whose whole-router machine is in Sleep (for the policy
+    /// layer's all-asleep elision).
+    sleepers: usize,
+    /// Non-drained routers (meaningful only while the scheduler is
+    /// engaged; recomputed when force-full-step is switched off).
+    nondrained: usize,
+    /// Event-scheduler effectiveness counters (all zero under forced
+    /// full stepping — the regression suite asserts the scheduler is
+    /// truly bypassed there).
+    sched: SchedStats,
+    /// Cache of [`Router::port_active_mask`] per router, so a stepping
+    /// router's four neighbour-acceptance reads hit one dense byte
+    /// array instead of four cache-cold router structs. Refreshed at
+    /// every power transition and after every phase-2 run (wake-up
+    /// countdowns complete inside the tick); a *deferred* router's mask
+    /// is exact because its power class is constant across the deferred
+    /// stretch. Only read on the scheduled path — the forced-full-step
+    /// loop reads the routers directly, and releasing the escape hatch
+    /// recomputes the cache (`reseed_scheduler`).
+    active_mask: Vec<u8>,
     /// Telemetry sink; [`NopSink`] by default, which erases every
     /// instrumentation point at monomorphization.
     sink: S,
@@ -66,6 +116,30 @@ pub struct Network<S: Sink = NopSink> {
 
 /// Marker in the adjacency table for "no link in this direction".
 const NO_NEIGHBOR: usize = usize::MAX;
+
+/// Effectiveness counters of the event scheduler in [`Network::step`].
+/// All remain zero while forced full stepping is active — the
+/// escape-hatch regression suite asserts the scheduler is bypassed by
+/// observing exactly that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Routers run in phase 2 (full steps plus scheduled idle ticks).
+    pub router_runs: u64,
+    /// Phase-2 runs that were scheduled idle ticks of drained routers.
+    pub idle_runs: u64,
+    /// Wakeup-queue entries popped at their due cycle.
+    pub wakeup_pops: u64,
+    /// Wakeup-queue entries dropped as stale (cursor stamp mismatch).
+    pub stale_wakeups: u64,
+    /// Deferred idle stretches materialized via the closed form.
+    pub syncs: u64,
+    /// Total cycles covered by those materializations.
+    pub synced_cycles: u64,
+    /// Full phase-2 steps of non-drained routers that produced no
+    /// outputs at all (no traversal, no credit, no ejection, no ping):
+    /// the router was stalled on downstream backpressure.
+    pub stalled_runs: u64,
+}
 
 /// Debug builds cross-check [`Network::fast_forward`] against a
 /// cycle-by-cycle replay of cloned routers for skips up to this many
@@ -102,7 +176,7 @@ impl<S: Sink> Network<S> {
             panic!("invalid network configuration: {e}");
         }
         let dims = cfg.dims;
-        let routers = dims
+        let routers: Vec<Router> = dims
             .nodes()
             .map(|node| {
                 let mut connected = [false; NUM_PORTS];
@@ -146,6 +220,7 @@ impl<S: Sink> Network<S> {
                 route_lut.push(dims.xy_route(at, dst));
             }
         }
+        let active_mask = routers.iter().map(Router::port_active_mask).collect();
         Network {
             cfg,
             routers,
@@ -161,6 +236,15 @@ impl<S: Sink> Network<S> {
             route_lut,
             inflight: vec![0; n * NUM_PORTS],
             force_full_step: false,
+            cursor: vec![0; n],
+            hot_stamp: vec![0; n],
+            next_hot: Vec::new(),
+            todo: BinaryHeap::new(),
+            wakeups: BinaryHeap::new(),
+            sleepers: 0,
+            nondrained: 0,
+            sched: SchedStats::default(),
+            active_mask,
             sink,
             power_shadow: if S::ENABLED { vec![PowerPhase::Active; n] } else { Vec::new() },
         }
@@ -227,9 +311,11 @@ impl<S: Sink> Network<S> {
         self.routers[node.index()].power_state().is_active()
     }
 
-    /// Power state of a node's router.
+    /// Power state of a node's router (lag-aware: a deferred wake-up
+    /// countdown reads as it would after materialization).
     pub fn power_state(&self, node: NodeId) -> PowerState {
-        self.routers[node.index()].power_state()
+        let idx = node.index();
+        self.routers[idx].power_state_lagged(self.cycle - self.cursor[idx])
     }
 
     /// Attempts to inject a flit at `node`'s local port into virtual
@@ -246,8 +332,19 @@ impl<S: Sink> Network<S> {
             return false;
         }
         flit.vc = vc as u8;
-        if let Some(ping_dir) = router.deliver(Port::Local, flit) {
-            self.wake_neighbor(node, ping_dir);
+        let idx = node.index();
+        if !self.force_full_step {
+            // The router gains work: materialize its deferred stretch
+            // (its tick for the current cycle already happened) and
+            // schedule it for the next step.
+            self.sync_to(idx, self.cycle);
+            if self.routers[idx].is_drained() {
+                self.nondrained += 1;
+            }
+            self.mark_next(idx);
+        }
+        if let Some(ping_dir) = self.routers[idx].deliver(Port::Local, flit) {
+            self.wake_neighbor_prestep(node, ping_dir);
         }
         self.stats.flits_injected += 1;
         true
@@ -259,12 +356,125 @@ impl<S: Sink> Network<S> {
         self.route_lut[at.index() * self.cfg.dims.num_nodes() + dst.index()]
     }
 
-    /// Disables (or re-enables) the drained-router fast path in
+    /// Disables (or re-enables) the event scheduler in
     /// [`Network::step`]. Results are bit-identical either way; forcing
     /// the full step exists so benchmarks can measure the speedup of the
-    /// fast path against the naive walk-everything loop.
+    /// scheduler against the naive walk-everything loop, and so the
+    /// differential suite has an independent reference to compare
+    /// against. Switching on materializes every deferred router;
+    /// switching off re-seeds the scheduler from live state.
     pub fn set_force_full_step(&mut self, force: bool) {
-        self.force_full_step = force;
+        if force == self.force_full_step {
+            return;
+        }
+        if force {
+            self.sync_all();
+            self.force_full_step = true;
+        } else {
+            self.force_full_step = false;
+            self.reseed_scheduler();
+        }
+    }
+
+    /// Materializes every router's deferred idle stretch (cursors catch
+    /// up to the current cycle). Results are unchanged — the scheduler's
+    /// laziness is purely an internal representation — but raw per-router
+    /// reads (e.g. [`Router::power_fingerprint`]) are only meaningful on
+    /// a materialized network, so differential tests call this before
+    /// comparing router state field-for-field.
+    pub fn materialize(&mut self) {
+        self.sync_all();
+    }
+
+    /// Event-scheduler effectiveness counters. All-zero when the
+    /// network has only ever run under `set_force_full_step(true)` —
+    /// the escape-hatch regression test relies on that to prove the
+    /// scheduler is truly bypassed.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched
+    }
+
+    fn sync_all(&mut self) {
+        for idx in 0..self.routers.len() {
+            self.sync_to(idx, self.cycle);
+        }
+    }
+
+    /// Rebuilds the scheduler's derived state from the live routers:
+    /// non-drained routers are queued for the next step, drained ones
+    /// get wakeup-queue entries for any pending countdown. Used when the
+    /// forced-full-step escape hatch is released (cursors are already
+    /// current in that mode).
+    fn reseed_scheduler(&mut self) {
+        self.nondrained = 0;
+        for idx in 0..self.routers.len() {
+            debug_assert_eq!(self.cursor[idx], self.cycle);
+            self.active_mask[idx] = self.routers[idx].port_active_mask();
+            if self.routers[idx].is_drained() {
+                self.reschedule(idx);
+            } else {
+                self.nondrained += 1;
+                self.mark_next(idx);
+            }
+        }
+    }
+
+    /// Materializes router `idx`'s deferred idle stretch through cycle
+    /// `target` in closed form. In debug builds the closed form is
+    /// shadow-replayed tick by tick (the scheduler-audit extension of
+    /// the fast-forward replay machinery).
+    fn sync_to(&mut self, idx: usize, target: u64) {
+        debug_assert!(self.cursor[idx] <= target, "cursor beyond target at router {idx}");
+        let lag = target - self.cursor[idx];
+        if lag == 0 {
+            return;
+        }
+        self.sched.syncs += 1;
+        self.sched.synced_cycles += lag;
+        #[cfg(debug_assertions)]
+        let shadow = (lag <= SHADOW_REPLAY_MAX).then(|| self.routers[idx].clone());
+        self.routers[idx].fast_forward(lag);
+        self.cursor[idx] = target;
+        #[cfg(debug_assertions)]
+        if let Some(mut shadow) = shadow {
+            for _ in 0..lag {
+                shadow.idle_tick();
+            }
+            debug_assert_eq!(
+                shadow.power_fingerprint(),
+                self.routers[idx].power_fingerprint(),
+                "deferred-stretch materialization diverged from replay at {} over {lag} cycles",
+                self.routers[idx].node()
+            );
+        }
+    }
+
+    /// Pushes a wakeup-queue entry for router `idx` if it has a pending
+    /// wake-up countdown. Called whenever a router settles into (or
+    /// mutates while in) the deferred state; entries made stale by later
+    /// cursor movement are dropped lazily at pop time.
+    fn reschedule(&mut self, idx: usize) {
+        if let Some(dt) = self.routers[idx].next_wake_completion() {
+            let cursor = self.cursor[idx];
+            self.wakeups.push(Reverse((cursor + dt, idx as u32, cursor)));
+        }
+    }
+
+    /// Queues router `idx` to run on the next step.
+    fn mark_next(&mut self, idx: usize) {
+        let at = self.cycle + 1;
+        if self.hot_stamp[idx] != at {
+            self.hot_stamp[idx] = at;
+            self.next_hot.push(idx as u32);
+        }
+    }
+
+    /// Queues router `idx` to run later in the *current* step's phase 2.
+    fn mark_in(&mut self, idx: usize, todo: &mut BinaryHeap<Reverse<u32>>) {
+        if self.hot_stamp[idx] != self.cycle {
+            self.hot_stamp[idx] = self.cycle;
+            todo.push(Reverse(idx as u32));
+        }
     }
 
     /// Whether `node` can accept NI injections right now (its router and,
@@ -274,21 +484,56 @@ impl<S: Sink> Network<S> {
     }
 
     /// Requests a wake-up of `node`'s router (and, with port gating, of
-    /// its local input port).
+    /// its local input port). Called between steps: the target's tick
+    /// for the current cycle already happened, so its deferred stretch
+    /// is materialized through `cycle` before the request, and any new
+    /// countdown is entered into the wakeup queue.
     pub fn request_wake(&mut self, node: NodeId, reason: WakeReason) {
+        let idx = node.index();
+        if !self.force_full_step {
+            self.sync_to(idx, self.cycle);
+        }
+        self.apply_wake(idx, Port::Local, reason);
+        if !self.force_full_step {
+            self.reschedule(idx);
+        }
+    }
+
+    /// Applies a wake request to router `idx` and input port `port`,
+    /// maintaining the sleeper count and telemetry. The caller is
+    /// responsible for cursor discipline (sync before, reschedule or
+    /// queue after).
+    fn apply_wake(&mut self, idx: usize, port: Port, reason: WakeReason) {
         let cycle = self.cycle;
-        let r = &mut self.routers[node.index()];
+        let r = &mut self.routers[idx];
+        if r.power_state().is_sleeping() {
+            self.sleepers -= 1;
+        }
         r.request_wake(cycle, reason);
-        r.request_wake_port(Port::Local, cycle, reason);
-        self.note_power(node.index());
+        r.request_wake_port(port, cycle, reason);
+        self.active_mask[idx] = self.routers[idx].port_active_mask();
+        self.note_power(idx);
     }
 
     /// Requests wake-up of every router (used when the lower-order
     /// subnet's regional congestion turns on).
     pub fn request_wake_all(&mut self, reason: WakeReason) {
         let cycle = self.cycle;
-        for r in &mut self.routers {
-            r.request_wake(cycle, reason);
+        for idx in 0..self.routers.len() {
+            // Only sleeping routers change state (the request is a no-op
+            // from Active and WakeUp), so only they need materializing.
+            if !self.routers[idx].power_state().is_sleeping() {
+                continue;
+            }
+            if !self.force_full_step {
+                self.sync_to(idx, cycle);
+            }
+            self.routers[idx].request_wake(cycle, reason);
+            self.sleepers -= 1;
+            self.active_mask[idx] = self.routers[idx].port_active_mask();
+            if !self.force_full_step {
+                self.reschedule(idx);
+            }
         }
         if S::ENABLED {
             for idx in 0..self.routers.len() {
@@ -306,7 +551,7 @@ impl<S: Sink> Network<S> {
             return false;
         }
         let router = &self.routers[node.index()];
-        if !router.sleep_guard_ok() {
+        if !router.sleep_guard_ok_lagged(self.cycle - self.cursor[node.index()]) {
             return false;
         }
         // No in-flight flits on links towards this node.
@@ -342,9 +587,15 @@ impl<S: Sink> Network<S> {
     /// whether the router was put to sleep.
     pub fn request_sleep(&mut self, node: NodeId) -> bool {
         if self.can_sleep(node) {
+            let idx = node.index();
+            if !self.force_full_step {
+                self.sync_to(idx, self.cycle);
+            }
             let cycle = self.cycle;
-            self.routers[node.index()].enter_sleep(cycle);
-            self.note_power(node.index());
+            self.routers[idx].enter_sleep(cycle);
+            self.sleepers += 1;
+            self.active_mask[idx] = self.routers[idx].port_active_mask();
+            self.note_power(idx);
             true
         } else {
             false
@@ -360,7 +611,7 @@ impl<S: Sink> Network<S> {
             return false;
         }
         let router = &self.routers[node.index()];
-        if !router.port_sleep_guard_ok(port) {
+        if !router.port_sleep_guard_ok_lagged(port, self.cycle - self.cursor[node.index()]) {
             return false;
         }
         debug_assert_eq!(
@@ -391,8 +642,18 @@ impl<S: Sink> Network<S> {
     /// Gates one input port if [`Network::can_sleep_port`] holds.
     pub fn request_sleep_port(&mut self, node: NodeId, port: Port) -> bool {
         if self.can_sleep_port(node, port) {
+            let idx = node.index();
+            if !self.force_full_step {
+                self.sync_to(idx, self.cycle);
+            }
             let cycle = self.cycle;
-            self.routers[node.index()].enter_port_sleep(port, cycle);
+            self.routers[idx].enter_port_sleep(port, cycle);
+            self.active_mask[idx] = self.routers[idx].port_active_mask();
+            if !self.force_full_step {
+                // The sync moved the cursor: any still-waking sibling
+                // port needs a fresh wakeup-queue entry.
+                self.reschedule(idx);
+            }
             true
         } else {
             false
@@ -414,18 +675,72 @@ impl<S: Sink> Network<S> {
     }
 
     /// Advances the network by one cycle.
+    ///
+    /// Default mode is the event scheduler: a cycle only touches routers
+    /// that have work (non-drained), receive a delivery, or whose
+    /// wake-up countdown expires this cycle; everything else stays
+    /// deferred (its idle time materialized lazily by
+    /// [`Network::sync_to`]). With [`Network::set_force_full_step`] the
+    /// original scan-everything loop runs instead; both are bit-identical
+    /// (asserted by the differential suite in `tests/eventdriven.rs`).
     pub fn step(&mut self) {
         self.cycle += 1;
         self.stats.cycles += 1;
+        if self.force_full_step {
+            self.step_full();
+        } else {
+            self.step_scheduled();
+        }
+    }
+
+    /// One cycle of the event scheduler.
+    fn step_scheduled(&mut self) {
+        let cycle = self.cycle;
+        let n = self.cfg.dims.num_nodes();
+
+        // Collect this cycle's run set: routers marked by the previous
+        // step, plus wakeup-queue entries coming due. Entries whose
+        // stamp no longer matches the cursor are stale (the router was
+        // materialized or re-requested since) and are dropped.
+        let mut todo = std::mem::take(&mut self.todo);
+        debug_assert!(todo.is_empty());
+        for idx in self.next_hot.drain(..) {
+            todo.push(Reverse(idx));
+        }
+        while let Some(&Reverse((due, idx, stamp))) = self.wakeups.peek() {
+            if due > cycle {
+                break;
+            }
+            self.wakeups.pop();
+            let i = idx as usize;
+            if self.cursor[i] != stamp {
+                self.sched.stale_wakeups += 1;
+                continue;
+            }
+            self.sched.wakeup_pops += 1;
+            debug_assert_eq!(due, cycle, "valid wakeup entry slipped into the past");
+            self.sync_to(i, cycle - 1);
+            self.mark_in(i, &mut todo);
+        }
 
         // Phase 1: deliver flits that completed their link cycle, and
-        // advance flits leaving crossbars onto the link.
+        // advance flits leaving crossbars onto the link. Delivery
+        // targets join the run set (cycle-edge staging means their
+        // deferred stretch ends exactly at the previous cycle edge).
         let mut delivered = std::mem::take(&mut self.staged_flits);
         for &(idx, port, flit) in &delivered {
             self.inflight[idx * NUM_PORTS + port.index()] -= 1;
+            self.sync_to(idx, cycle - 1);
+            if self.routers[idx].is_drained() {
+                self.nondrained += 1;
+            }
             let node = self.routers[idx].node();
-            if let Some(ping_dir) = self.routers[idx].deliver(port, flit) {
-                self.wake_neighbor(node, ping_dir);
+            let ping = self.routers[idx].deliver(port, flit);
+            self.mark_in(idx, &mut todo);
+            if let Some(ping_dir) = ping {
+                // Position 0: every router's tick for this cycle is
+                // still ahead.
+                self.wake_neighbor_instep(node, ping_dir, 0, &mut todo);
             }
         }
         // Rotate buffers so their capacity is reused: flits placed on
@@ -435,46 +750,101 @@ impl<S: Sink> Network<S> {
         self.staged_flits = std::mem::replace(&mut self.link_stage, delivered);
         let mut credits = std::mem::take(&mut self.staged_credits);
         for &(idx, port, vc) in &credits {
+            // Credit returns are time-invariant and cannot create work
+            // for a drained router (nothing buffered to send), so the
+            // receiver is not scheduled.
             self.routers[idx].return_credit(port, vc);
         }
         credits.clear();
         self.staged_credits = credits;
 
-        // Phase 2: step every router; collect outputs into fresh staging.
-        //
-        // Fast path: a drained router (no buffered flits, empty crossbar
-        // register) cannot allocate, traverse, eject, or emit credits or
-        // wake pings — its `step` reduces to advancing the idle counters
-        // and power-state machines, which `idle_tick` does without ever
-        // reading neighbour state. Skipping the full step for such
-        // routers is therefore invisible to every observable (goldens,
-        // residency counters, activity counters); at light load with
-        // gating, the per-cycle cost drops roughly with the fraction of
-        // sleeping/idle routers — the simulation-speed analogue of the
-        // paper's energy proportionality.
-        let n = self.cfg.dims.num_nodes();
-        let force_full = self.force_full_step;
-        for idx in 0..self.routers.len() {
-            if !force_full && self.routers[idx].is_drained() {
-                self.routers[idx].idle_tick();
-                continue;
+        // Phase 2: run the hot set in index order. Mid-iteration wake
+        // requests may insert indices ahead of the iteration point; the
+        // heap keeps the order. When the hot set covers a large part of
+        // the mesh (saturated subnet), a dense ascending index scan
+        // visits the same routers in the same order without the heap's
+        // per-element log cost; requests that land ahead of the scan
+        // position are picked up by their `hot_stamp` (`mark_in` still
+        // pushes to the heap, which the dense mode simply discards).
+        let mut stepped: Vec<u32> = Vec::new();
+        if todo.len() * 4 >= n {
+            for idx in 0..n {
+                if self.hot_stamp[idx] == cycle {
+                    self.run_scheduled_router(idx, cycle, &mut todo, &mut stepped);
+                }
             }
+            todo.clear();
+        } else {
+            while let Some(Reverse(idxu)) = todo.pop() {
+                self.run_scheduled_router(idxu as usize, cycle, &mut todo, &mut stepped);
+            }
+        }
+        self.todo = todo;
+
+        // Telemetry: catch transitions that happened inside the router
+        // steps themselves (wake-up countdowns completing in
+        // `psm.tick`), which no explicit request call observed. Only
+        // routers that ticked this cycle can have transitioned; the run
+        // set was popped in ascending index order, so the sweep emits
+        // events in the same order as the full loop's 0..n sweep.
+        if S::ENABLED {
+            for &idx in &stepped {
+                self.note_power(idx as usize);
+            }
+        }
+    }
+
+    /// Runs one router of the current cycle's hot set (phase 2 of
+    /// [`Network::step_scheduled`]): tick the router, stage its link
+    /// traversals and credit returns, record ejections, and propagate
+    /// in-step wake requests. Refreshes the `active_mask` cache after
+    /// the tick so later routers in the same phase observe wake-up
+    /// countdowns that completed inside it.
+    fn run_scheduled_router(
+        &mut self,
+        idx: usize,
+        cycle: u64,
+        todo: &mut BinaryHeap<Reverse<u32>>,
+        stepped: &mut Vec<u32>,
+    ) {
+        debug_assert_eq!(self.cursor[idx], cycle - 1, "scheduled router not at the cycle edge");
+        self.sched.router_runs += 1;
+        if self.routers[idx].is_drained() {
+            self.sched.idle_runs += 1;
+            self.routers[idx].idle_tick();
+            self.cursor[idx] = cycle;
+            self.active_mask[idx] = self.routers[idx].port_active_mask();
+            self.reschedule(idx);
+        } else {
+            let n = self.cfg.dims.num_nodes();
             let adj = self.adj[idx];
             let node = self.routers[idx].node();
-            // Snapshot which neighbours can accept flits this cycle: the
-            // downstream router must be active and (with port gating) so
-            // must the specific input port our link feeds.
+            // Snapshot which neighbours can accept flits this cycle:
+            // the downstream router must be active and (with port
+            // gating) so must the specific input port our link
+            // feeds. Deferred neighbours read exactly: their state
+            // class is constant across the deferred stretch, and the
+            // mask cache is refreshed at every power transition.
             let mut neighbor_active = [true; NUM_PORTS];
             for port in [Port::North, Port::East, Port::South, Port::West] {
                 let pi = port.index();
                 neighbor_active[pi] = match adj[pi] {
                     NO_NEIGHBOR => false,
-                    nbr => self.routers[nbr].port_active(port.opposite()),
+                    nbr => self.active_mask[nbr] & (1u8 << port.opposite().index()) != 0,
                 };
             }
 
             let mut out = std::mem::take(&mut self.scratch);
             self.routers[idx].step(&neighbor_active, &mut out);
+            self.cursor[idx] = cycle;
+            self.active_mask[idx] = self.routers[idx].port_active_mask();
+            if out.outbound.is_empty()
+                && out.credits.is_empty()
+                && out.ejected.is_empty()
+                && out.wake_pings.is_empty()
+            {
+                self.sched.stalled_runs += 1;
+            }
 
             for ob in &out.outbound {
                 let opi = ob.out_port.index();
@@ -482,8 +852,8 @@ impl<S: Sink> Network<S> {
                 debug_assert!(nbr != NO_NEIGHBOR, "link to nowhere");
                 let in_port = ob.out_port.opposite();
                 let mut flit = ob.flit;
-                // Look-ahead routing: compute the output port at the next
-                // router before the flit arrives there.
+                // Look-ahead routing: compute the output port at the
+                // next router before the flit arrives there.
                 flit.lookahead = self.route_lut[nbr * n + flit.dst.index()];
                 self.inflight[nbr * NUM_PORTS + in_port.index()] += 1;
                 self.link_stage.push((nbr, in_port, flit));
@@ -500,14 +870,92 @@ impl<S: Sink> Network<S> {
                 self.record_ejection(node, flit);
             }
             for &ping in &out.wake_pings {
-                self.wake_neighbor(node, ping);
+                self.wake_neighbor_instep(node, ping, idx, todo);
+            }
+            self.scratch = out;
+
+            if self.routers[idx].is_drained() {
+                self.nondrained -= 1;
+                self.reschedule(idx);
+            } else {
+                self.mark_next(idx);
+            }
+        }
+        if S::ENABLED {
+            stepped.push(idx as u32);
+        }
+    }
+
+    /// One cycle of the original scan-everything loop (the
+    /// forced-full-step escape hatch): every router computes its
+    /// neighbour mask and runs the reference step, with no scheduler
+    /// machinery engaged. Cursors are kept current so the modes can be
+    /// switched mid-run.
+    fn step_full(&mut self) {
+        // Phase 1: deliver flits that completed their link cycle, and
+        // advance flits leaving crossbars onto the link.
+        let mut delivered = std::mem::take(&mut self.staged_flits);
+        for &(idx, port, flit) in &delivered {
+            self.inflight[idx * NUM_PORTS + port.index()] -= 1;
+            let node = self.routers[idx].node();
+            if let Some(ping_dir) = self.routers[idx].deliver(port, flit) {
+                self.wake_neighbor_full(node, ping_dir);
+            }
+        }
+        delivered.clear();
+        self.staged_flits = std::mem::replace(&mut self.link_stage, delivered);
+        let mut credits = std::mem::take(&mut self.staged_credits);
+        for &(idx, port, vc) in &credits {
+            self.routers[idx].return_credit(port, vc);
+        }
+        credits.clear();
+        self.staged_credits = credits;
+
+        // Phase 2: step every router; collect outputs into fresh staging.
+        let n = self.cfg.dims.num_nodes();
+        let cycle = self.cycle;
+        for idx in 0..self.routers.len() {
+            let adj = self.adj[idx];
+            let node = self.routers[idx].node();
+            let mut neighbor_active = [true; NUM_PORTS];
+            for port in [Port::North, Port::East, Port::South, Port::West] {
+                let pi = port.index();
+                neighbor_active[pi] = match adj[pi] {
+                    NO_NEIGHBOR => false,
+                    nbr => self.routers[nbr].port_active(port.opposite()),
+                };
+            }
+
+            let mut out = std::mem::take(&mut self.scratch);
+            self.routers[idx].step_reference(&neighbor_active, &mut out);
+            self.cursor[idx] = cycle;
+
+            for ob in &out.outbound {
+                let opi = ob.out_port.index();
+                let nbr = adj[opi];
+                debug_assert!(nbr != NO_NEIGHBOR, "link to nowhere");
+                let in_port = ob.out_port.opposite();
+                let mut flit = ob.flit;
+                flit.lookahead = self.route_lut[nbr * n + flit.dst.index()];
+                self.inflight[nbr * NUM_PORTS + in_port.index()] += 1;
+                self.link_stage.push((nbr, in_port, flit));
+            }
+            for cr in &out.credits {
+                let ipi = cr.in_port.index();
+                let upstream = adj[ipi];
+                debug_assert!(upstream != NO_NEIGHBOR, "credit to nowhere");
+                let up_out = cr.in_port.opposite();
+                self.staged_credits.push((upstream, up_out, cr.vc));
+            }
+            for flit in out.ejected.drain(..) {
+                self.record_ejection(node, flit);
+            }
+            for &ping in &out.wake_pings {
+                self.wake_neighbor_full(node, ping);
             }
             self.scratch = out;
         }
 
-        // Telemetry: catch transitions that happened inside the router
-        // steps themselves (wake-up countdowns completing in
-        // `psm.tick`), which no explicit request call observed.
         if S::ENABLED {
             for idx in 0..self.routers.len() {
                 self.note_power(idx);
@@ -528,18 +976,89 @@ impl<S: Sink> Network<S> {
         self.ejected.push((node, flit));
     }
 
-    fn wake_neighbor(&mut self, node: NodeId, dir_port: Port) {
+    /// Look-ahead wake ping arriving *between* steps (injection time).
+    /// The target's tick for the current cycle has already happened in
+    /// canonical order, so the deferred stretch is materialized through
+    /// the current cycle before the request lands.
+    fn wake_neighbor_prestep(&mut self, node: NodeId, dir_port: Port) {
         if let Some(dir) = dir_port.direction() {
             if let Some(nbr) = self.cfg.dims.neighbor(node, dir) {
-                let cycle = self.cycle;
-                let r = &mut self.routers[nbr.index()];
-                r.request_wake(cycle, WakeReason::LookaheadSignal);
-                // With port gating, wake the specific input port our link
-                // feeds.
-                r.request_wake_port(Port::from(dir.opposite()), cycle, WakeReason::LookaheadSignal);
-                self.note_power(nbr.index());
+                let idx = nbr.index();
+                if !self.force_full_step {
+                    self.sync_to(idx, self.cycle);
+                }
+                self.apply_wake(idx, Port::from(dir.opposite()), WakeReason::LookaheadSignal);
+                if !self.force_full_step {
+                    self.reschedule(idx);
+                }
             }
         }
+    }
+
+    /// Look-ahead wake ping raised *inside* a step, by the router at
+    /// phase-2 position `pos` (phase-1 deliveries pass `pos == 0`: every
+    /// router's tick is still ahead). Exactness hinges on where the
+    /// target's tick for this cycle falls relative to the request in the
+    /// canonical full loop:
+    ///
+    /// - target index `< pos`, or target already ticked (`cursor ==
+    ///   cycle`): the canonical tick precedes the request, so the
+    ///   deferred stretch is absorbed in closed form through the current
+    ///   cycle and the request lands after it;
+    /// - otherwise the target ticks later in this same cycle: the
+    ///   request lands with the target at the cycle edge, and the target
+    ///   joins the current run set so its tick happens in phase 2.
+    fn wake_neighbor_instep(
+        &mut self,
+        node: NodeId,
+        dir_port: Port,
+        pos: usize,
+        todo: &mut BinaryHeap<Reverse<u32>>,
+    ) {
+        if let Some(dir) = dir_port.direction() {
+            if let Some(nbr) = self.cfg.dims.neighbor(node, dir) {
+                let idx = nbr.index();
+                let cycle = self.cycle;
+                let in_port = Port::from(dir.opposite());
+                if idx < pos || self.cursor[idx] == cycle {
+                    self.sync_to(idx, cycle);
+                    self.apply_wake(idx, in_port, WakeReason::LookaheadSignal);
+                    self.reschedule(idx);
+                } else {
+                    self.sync_to(idx, cycle - 1);
+                    self.apply_wake(idx, in_port, WakeReason::LookaheadSignal);
+                    self.mark_in(idx, todo);
+                }
+            }
+        }
+    }
+
+    /// Look-ahead wake ping under forced full stepping: no scheduler
+    /// bookkeeping, matching the original loop verbatim (cursors are
+    /// already kept current by [`Network::step_full`]).
+    fn wake_neighbor_full(&mut self, node: NodeId, dir_port: Port) {
+        if let Some(dir) = dir_port.direction() {
+            if let Some(nbr) = self.cfg.dims.neighbor(node, dir) {
+                self.apply_wake(nbr.index(), Port::from(dir.opposite()), WakeReason::LookaheadSignal);
+            }
+        }
+    }
+
+    /// Whether every router is in the `Sleep` power state. O(1) via the
+    /// scheduler's census counter; conservatively `false` under forced
+    /// full stepping (the counter is not consulted there) and under port
+    /// gating (whole-router sleep never entered).
+    pub fn all_asleep(&self) -> bool {
+        !self.force_full_step && self.sleepers == self.routers.len()
+    }
+
+    /// Whether no router holds any flit in its input buffers or crossbar
+    /// register. O(1) via the scheduler's census counter; conservatively
+    /// `false` under forced full stepping. Flits on links or in staging
+    /// are *not* covered — pair with [`Network::is_quiescent`] when that
+    /// matters.
+    pub fn all_drained(&self) -> bool {
+        !self.force_full_step && self.nondrained == 0
     }
 
     /// Sum of router activity counters across the network.
@@ -550,17 +1069,24 @@ impl<S: Sink> Network<S> {
             .fold(RouterActivity::default(), RouterActivity::merged)
     }
 
-    /// Sum of power-gating residency across the network.
+    /// Sum of power-gating residency across the network (lag-aware:
+    /// deferred stretches are credited to their routers' current state
+    /// class without materializing them).
     pub fn total_gating(&self) -> GatingActivity {
         self.routers
             .iter()
-            .map(|r| r.gating_activity(self.cycle))
+            .enumerate()
+            .map(|(i, r)| r.gating_activity_lagged(self.cycle, self.cycle - self.cursor[i]))
             .fold(GatingActivity::default(), GatingActivity::merged)
     }
 
-    /// Per-router gating residency (indexed by node).
+    /// Per-router gating residency (indexed by node; lag-aware).
     pub fn gating_by_node(&self) -> Vec<GatingActivity> {
-        self.routers.iter().map(|r| r.gating_activity(self.cycle)).collect()
+        self.routers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.gating_activity_lagged(self.cycle, self.cycle - self.cursor[i]))
+            .collect()
     }
 
     /// Number of routers currently in each power state:
@@ -603,7 +1129,17 @@ impl<S: Sink> Network<S> {
     pub fn skip_horizon(&self, may_sleep: bool) -> u64 {
         self.routers
             .iter()
-            .map(|r| r.skip_horizon(may_sleep))
+            .enumerate()
+            .map(|(i, r)| {
+                let h = r.skip_horizon(may_sleep);
+                if h == u64::MAX {
+                    h
+                } else {
+                    // Deferred routers computed their horizon as of
+                    // their cursor; the lag has already elapsed.
+                    h.saturating_sub(self.cycle - self.cursor[i])
+                }
+            })
             .min()
             .unwrap_or(u64::MAX)
     }
@@ -624,12 +1160,26 @@ impl<S: Sink> Network<S> {
         if dt == 0 {
             return;
         }
+        // Materialize any deferred stretches first (each router's own
+        // closed form, shadow-audited in debug builds), so the skip
+        // below starts from a fully synchronized network exactly as
+        // before the scheduler existed.
+        self.sync_all();
         #[cfg(debug_assertions)]
         let shadow: Option<Vec<Router>> = (dt <= SHADOW_REPLAY_MAX).then(|| self.routers.clone());
         self.cycle += dt;
         self.stats.cycles += dt;
         for r in &mut self.routers {
             r.fast_forward(dt);
+        }
+        if !self.force_full_step {
+            let cycle = self.cycle;
+            for idx in 0..self.routers.len() {
+                self.cursor[idx] = cycle;
+                // Cursor moved: refresh any pending wake-completion
+                // entry (old ones are invalidated by their stamp).
+                self.reschedule(idx);
+            }
         }
         #[cfg(debug_assertions)]
         if let Some(mut shadow) = shadow {
@@ -650,8 +1200,10 @@ impl<S: Sink> Network<S> {
     }
 
     /// Closes out gating accounting (call once at the end of a run before
-    /// reading [`Network::total_gating`]).
+    /// reading [`Network::total_gating`]). Materializes all deferred
+    /// stretches first so the routers' own counters are final.
     pub fn finalize(&mut self) {
+        self.sync_all();
         let cycle = self.cycle;
         for r in &mut self.routers {
             r.finalize(cycle);

@@ -124,6 +124,19 @@ pub struct Router {
     buffered: u32,
     /// Flits buffered per input port (same invariant, per port).
     port_occ: [u32; NUM_PORTS],
+    /// Per input port, bitmask of non-empty VCs. The `InputVc` rings
+    /// store flits inline and are large; these masks (with
+    /// `vc_bound`/`bind_cache` below) let the allocator skip empty and
+    /// unbound VCs without touching their cache-cold storage. Kept in
+    /// sync by the `push_input`/`pop_input` wrappers.
+    vc_nonempty: [u64; NUM_PORTS],
+    /// Per input port, bitmask of VCs holding a wormhole binding
+    /// (maintained by `bind_input`/`unbind_input`).
+    vc_bound: [u64; NUM_PORTS],
+    /// Dense mirror of each VC's binding, valid iff its `vc_bound` bit
+    /// is set, so switch arbitration reads two bytes per request
+    /// instead of the VC struct.
+    bind_cache: Vec<Binding>,
     /// Event counters for the power model.
     pub activity: RouterActivity,
 }
@@ -166,6 +179,15 @@ impl Router {
             port_idle: [0; NUM_PORTS],
             buffered: 0,
             port_occ: [0; NUM_PORTS],
+            vc_nonempty: [0; NUM_PORTS],
+            vc_bound: [0; NUM_PORTS],
+            bind_cache: vec![
+                Binding {
+                    out_port: Port::Local,
+                    out_vc: 0,
+                };
+                NUM_PORTS * vcs
+            ],
             activity: RouterActivity::default(),
         }
     }
@@ -190,6 +212,26 @@ impl Router {
         match &self.port_psm {
             Some(psms) => self.psm.state().is_active() && psms[port.index()].state().is_active(),
             None => self.psm.state().is_active(),
+        }
+    }
+
+    /// [`Router::port_active`] for all ports at once, as a bitmask over
+    /// port indices. The network caches these masks densely so a
+    /// stepping router reads its four neighbours' acceptance state
+    /// without touching their (cache-cold) structs.
+    pub fn port_active_mask(&self) -> u8 {
+        if !self.psm.state().is_active() {
+            return 0;
+        }
+        match &self.port_psm {
+            Some(psms) => {
+                let mut mask = 0u8;
+                for (i, p) in psms.iter().enumerate() {
+                    mask |= u8::from(p.state().is_active()) << i;
+                }
+                mask
+            }
+            None => (1u8 << NUM_PORTS) - 1,
         }
     }
 
@@ -223,6 +265,43 @@ impl Router {
                 let slot = self.input(port, v);
                 slot.is_empty() && slot.binding().is_none()
             })
+    }
+
+    /// Lag-aware variant of [`Router::port_sleep_guard_ok`] (see
+    /// [`Router::sleep_guard_ok_lagged`]): per-port idle counters advance
+    /// every deferred cycle too (the router machine stays active in
+    /// port-gating mode), so the deferred stretch is credited directly.
+    pub fn port_sleep_guard_ok_lagged(&self, port: Port, lag: u64) -> bool {
+        let Some(psms) = &self.port_psm else { return false };
+        psms[port.index()].state().is_active()
+            && self.port_idle[port.index()] as u64 + lag >= self.t_idle_detect as u64
+            && (0..self.vcs).all(|v| {
+                let slot = self.input(port, v);
+                slot.is_empty() && slot.binding().is_none()
+            })
+    }
+
+    /// Ticks until the earliest pending wake-up countdown (the router's
+    /// machine or any gated port's) completes: after exactly that many
+    /// idle ticks the machine reaches Active. `None` when no countdown is
+    /// pending — Sleep and Active are stable indefinitely under idle
+    /// ticks, so a deferred router in those classes needs no wakeup-queue
+    /// entry.
+    pub fn next_wake_completion(&self) -> Option<u64> {
+        let mut due: Option<u64> = None;
+        let fold = |stable: Option<u64>, due: &mut Option<u64>| {
+            if let Some(s) = stable {
+                let d = s + 1;
+                *due = Some(due.map_or(d, |x| x.min(d)));
+            }
+        };
+        fold(self.psm.stable_ticks(), &mut due);
+        if let Some(psms) = &self.port_psm {
+            for p in psms {
+                fold(p.stable_ticks(), &mut due);
+            }
+        }
+        due
     }
 
     /// Gates one input port.
@@ -270,8 +349,39 @@ impl Router {
         &self.inputs[port.index() * self.vcs + vc]
     }
 
-    fn input_mut(&mut self, port: Port, vc: usize) -> &mut InputVc {
-        &mut self.inputs[port.index() * self.vcs + vc]
+    /// Enqueues into `(port index, vc)`, maintaining the non-empty mask.
+    /// All input-buffer mutation goes through these wrappers so the
+    /// masks and the binding mirror never drift from the rings.
+    #[inline]
+    fn push_input(&mut self, pi: usize, vc: usize, flit: Flit) {
+        self.inputs[pi * self.vcs + vc].push(flit);
+        self.vc_nonempty[pi] |= 1u64 << vc;
+    }
+
+    /// Dequeues from `(port index, vc)`, maintaining the non-empty mask.
+    #[inline]
+    fn pop_input(&mut self, pi: usize, vc: usize) -> Option<Flit> {
+        let slot = &mut self.inputs[pi * self.vcs + vc];
+        let flit = slot.pop();
+        if slot.is_empty() {
+            self.vc_nonempty[pi] &= !(1u64 << vc);
+        }
+        flit
+    }
+
+    /// Binds `(port index, vc)`, maintaining the bound mask and mirror.
+    #[inline]
+    fn bind_input(&mut self, pi: usize, vc: usize, binding: Binding) {
+        self.inputs[pi * self.vcs + vc].bind(binding);
+        self.vc_bound[pi] |= 1u64 << vc;
+        self.bind_cache[pi * self.vcs + vc] = binding;
+    }
+
+    /// Unbinds `(port index, vc)`, maintaining the bound mask.
+    #[inline]
+    fn unbind_input(&mut self, pi: usize, vc: usize) {
+        self.inputs[pi * self.vcs + vc].unbind();
+        self.vc_bound[pi] &= !(1u64 << vc);
     }
 
     /// Total flits buffered at one input port (across its VCs).
@@ -280,14 +390,15 @@ impl Router {
     }
 
     /// Maximum input-port occupancy, in flits: the paper's **BFM** local
-    /// congestion metric (Section 3.2.1).
+    /// congestion metric (Section 3.2.1). Disconnected ports never
+    /// receive flits, so the max over all five counters equals the max
+    /// over connected ports.
     pub fn max_port_occupancy(&self) -> usize {
-        Port::ALL
-            .iter()
-            .filter(|p| self.connected[p.index()])
-            .map(|&p| self.port_occupancy(p))
-            .max()
-            .unwrap_or(0)
+        let mut max = 0u32;
+        for &occ in &self.port_occ {
+            max = max.max(occ);
+        }
+        max as usize
     }
 
     /// Mean input-port occupancy over connected ports, in flits: the
@@ -367,7 +478,7 @@ impl Router {
         let vc = flit.vc as usize;
         assert!(vc < self.vcs, "flit VC out of range");
         let ping = (flit.kind.is_head() && flit.lookahead != Port::Local).then_some(flit.lookahead);
-        self.input_mut(port, vc).push(flit);
+        self.push_input(port.index(), vc, flit);
         self.buffered += 1;
         self.port_occ[port.index()] += 1;
         self.activity.buffer_writes += 1;
@@ -402,6 +513,19 @@ impl Router {
         self.port_psm.is_none() && self.psm.state().is_active() && self.is_drained() && self.idle_long_enough()
     }
 
+    /// Lag-aware variant of [`Router::sleep_guard_ok`] for the event
+    /// scheduler: credits `lag` additional drained-Active cycles that the
+    /// scheduler has deferred but not yet materialized into
+    /// `idle_cycles`. Exact because a deferred router is drained and its
+    /// power-state class cannot change across the deferred stretch, so
+    /// every deferred cycle would have incremented the idle counter.
+    pub fn sleep_guard_ok_lagged(&self, lag: u64) -> bool {
+        self.port_psm.is_none()
+            && self.psm.state().is_active()
+            && self.is_drained()
+            && self.idle_cycles as u64 + lag >= self.t_idle_detect as u64
+    }
+
     /// Gates the router. The caller must have checked [`Router::sleep_guard_ok`]
     /// and the network-level inbound conditions.
     ///
@@ -423,20 +547,47 @@ impl Router {
         if self.psm.state().is_active() {
             self.switch_traversal(out);
             self.allocate(neighbor_active, out);
-            // Idle detection: buffers and pipeline empty this cycle.
-            if self.is_drained() {
-                self.idle_cycles = self.idle_cycles.saturating_add(1);
+            self.update_idle_counters();
+        }
+        self.tick_power();
+    }
+
+    /// [`Router::step`] through the *reference* allocator: the original
+    /// scan-everything stage-1 implementation, kept verbatim as an
+    /// independent code path. The forced-full-step mode of the network
+    /// uses it, so the differential suite compares two genuinely
+    /// distinct allocators (an optimization bug in [`Router::step`]
+    /// cannot cancel out against itself) and the full-step benchmark
+    /// baseline stays the naive per-cycle walk.
+    pub fn step_reference(&mut self, neighbor_active: &[bool; NUM_PORTS], out: &mut RouterOutput) {
+        out.clear();
+        if self.psm.state().is_active() {
+            self.switch_traversal(out);
+            self.allocate_reference(neighbor_active, out);
+            self.update_idle_counters();
+        }
+        self.tick_power();
+    }
+
+    /// Idle detection after the move stages: buffers and pipeline empty
+    /// this cycle.
+    fn update_idle_counters(&mut self) {
+        if self.is_drained() {
+            self.idle_cycles = self.idle_cycles.saturating_add(1);
+        } else {
+            self.idle_cycles = 0;
+        }
+        for pi in 0..NUM_PORTS {
+            if self.port_occ[pi] == 0 {
+                self.port_idle[pi] = self.port_idle[pi].saturating_add(1);
             } else {
-                self.idle_cycles = 0;
-            }
-            for pi in 0..NUM_PORTS {
-                if self.port_occ[pi] == 0 {
-                    self.port_idle[pi] = self.port_idle[pi].saturating_add(1);
-                } else {
-                    self.port_idle[pi] = 0;
-                }
+                self.port_idle[pi] = 0;
             }
         }
+    }
+
+    /// Advances the power-state machines by one tick.
+    fn tick_power(&mut self) {
         let was_active = self.psm.state().is_active();
         self.psm.tick();
         if !was_active && self.psm.state().is_active() {
@@ -471,20 +622,7 @@ impl Router {
                 self.port_idle[pi] = self.port_idle[pi].saturating_add(1);
             }
         }
-        let was_active = self.psm.state().is_active();
-        self.psm.tick();
-        if !was_active && self.psm.state().is_active() {
-            self.idle_cycles = 0;
-        }
-        if let Some(psms) = &mut self.port_psm {
-            for (i, p) in psms.iter_mut().enumerate() {
-                let was = p.state().is_active();
-                p.tick();
-                if !was && p.state().is_active() {
-                    self.port_idle[i] = 0;
-                }
-            }
-        }
+        self.tick_power();
     }
 
     /// Advances a **drained** router by `dt` cycles in O(ports)
@@ -572,8 +710,215 @@ impl Router {
         }
     }
 
-    /// Stage 1: speculative VC allocation plus separable switch allocation.
+    /// Stage 1: speculative VC allocation plus separable switch
+    /// allocation, with busy-path fast exits. Bit-identical to
+    /// [`Router::allocate_reference`] (asserted by the differential
+    /// suite): skipped work is exactly the work the reference performs
+    /// on empty inputs, which reads nothing, writes nothing, and leaves
+    /// every round-robin pointer untouched.
     fn allocate(&mut self, neighbor_active: &[bool; NUM_PORTS], out: &mut RouterOutput) {
+        if self.buffered == 0 {
+            // No buffered flit anywhere: no head to allocate, no
+            // candidate to arbitrate, nothing blocked. The reference
+            // scan is a pure no-op in this state.
+            return;
+        }
+        let vcs = self.vcs;
+        // --- VC allocation for head flits without a binding ---
+        // Only a non-empty, unbound VC can hold a head awaiting VA (an
+        // unbound VC's front flit is always a head: the binding exists
+        // from the head's allocation to the tail's departure, and flits
+        // of a packet are contiguous in their VC). The reference loop
+        // `continue`s on every other VC without reading or writing
+        // anything, so iterating the mask bits in ascending order is
+        // bit-identical — including the order of wake pings.
+        for port in Port::ALL {
+            let pi = port.index();
+            let mut pending = self.vc_nonempty[pi] & !self.vc_bound[pi];
+            while pending != 0 {
+                let vc = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                let head = self.input(port, vc).front().expect("non-empty by mask");
+                debug_assert!(head.kind.is_head(), "unbound VC fronted by a non-head flit");
+                let out_port = head.lookahead;
+                debug_assert!(
+                    self.connected[out_port.index()],
+                    "route towards a disconnected port at {}",
+                    self.node
+                );
+                if out_port != Port::Local && !neighbor_active[out_port.index()] {
+                    // Liveness: re-request the wake-up while the head is
+                    // waiting for the downstream router to power on.
+                    out.wake_pings.push(out_port);
+                    continue;
+                }
+                let mask = head.class.vc_mask(vcs) & !self.out_owned[out_port.index()];
+                if mask == 0 {
+                    continue;
+                }
+                // Round-robin winner: the first free VC at or after the
+                // pointer, else the first free VC from zero (equivalent
+                // to the reference's wrapping scan).
+                let start = self.vc_rr[out_port.index()];
+                let from_start = mask >> start;
+                let ovc = if from_start != 0 {
+                    start + from_start.trailing_zeros() as usize
+                } else {
+                    mask.trailing_zeros() as usize
+                };
+                let next = ovc + 1;
+                self.vc_rr[out_port.index()] = if next == vcs { 0 } else { next };
+                self.out_owned[out_port.index()] |= 1u64 << ovc;
+                self.bind_input(
+                    pi,
+                    vc,
+                    Binding {
+                        out_port,
+                        out_vc: ovc as u8,
+                    },
+                );
+            }
+        }
+
+        // --- Input-side switch arbitration: one candidate VC per port ---
+        // Only bound VCs can request the switch; unbound non-empty VCs
+        // contribute to the blocked count and nothing else, and empty
+        // VCs are skipped entirely. The bound VCs are visited in the
+        // same wrapping round-robin order as the reference scan, so
+        // candidate choice, `arb_requests` and wake-ping order all
+        // match.
+        let mut candidate: [Option<(usize, Binding)>; NUM_PORTS] = [None; NUM_PORTS];
+        let mut nonempty_vcs = 0u64;
+        let mut any_candidate = false;
+        for port in Port::ALL {
+            let pi = port.index();
+            let ne = self.vc_nonempty[pi];
+            if ne == 0 {
+                continue;
+            }
+            nonempty_vcs += u64::from(ne.count_ones());
+            let bound = ne & self.vc_bound[pi];
+            if bound == 0 {
+                continue;
+            }
+            let start = self.in_rr[pi];
+            // Split the mask at the round-robin pointer: VCs at/after
+            // `start` first (in ascending order), then the wrapped ones.
+            let mut segment = bound >> start;
+            let mut base = start;
+            loop {
+                while segment != 0 {
+                    let vc = base + segment.trailing_zeros() as usize;
+                    segment &= segment - 1;
+                    let binding = self.bind_cache[pi * vcs + vc];
+                    let opi = binding.out_port.index();
+                    if binding.out_port != Port::Local && !neighbor_active[opi] {
+                        // Liveness: keep requesting the sleeping
+                        // neighbour's wake-up while we hold flits for
+                        // it.
+                        out.wake_pings.push(binding.out_port);
+                    }
+                    let eligible = binding.out_port == Port::Local
+                        || (neighbor_active[opi] && self.credits[opi * vcs + binding.out_vc as usize] > 0);
+                    if eligible {
+                        self.activity.arb_requests += 1;
+                        if candidate[pi].is_none() {
+                            candidate[pi] = Some((vc, binding));
+                            any_candidate = true;
+                        }
+                    }
+                }
+                if base == 0 || start == 0 {
+                    break;
+                }
+                segment = bound & ((1u64 << start) - 1);
+                base = 0;
+            }
+        }
+
+        let mut grants = 0u64;
+        if any_candidate {
+            // --- Output-side arbitration: one grant per output port ---
+            // Output ports nobody requests grant nothing and leave their
+            // round-robin pointer untouched in the reference scan, so
+            // they can be skipped outright.
+            let mut requested = 0u32;
+            for (_, binding) in candidate.iter().flatten() {
+                requested |= 1u32 << binding.out_port.index();
+            }
+            let mut granted: [Option<(usize, Binding)>; NUM_PORTS] = [None; NUM_PORTS]; // by input port
+            for out_port in Port::ALL {
+                let opi = out_port.index();
+                if requested & (1u32 << opi) == 0 {
+                    continue;
+                }
+                let start = self.out_rr[opi];
+                let mut in_pi = start;
+                for _ in 0..NUM_PORTS {
+                    if let Some((vc, binding)) = candidate[in_pi] {
+                        if binding.out_port == out_port {
+                            granted[in_pi] = Some((vc, binding));
+                            candidate[in_pi] = None;
+                            let next = in_pi + 1;
+                            self.out_rr[opi] = if next == NUM_PORTS { 0 } else { next };
+                            break;
+                        }
+                    }
+                    in_pi += 1;
+                    if in_pi == NUM_PORTS {
+                        in_pi = 0;
+                    }
+                }
+            }
+
+            // --- Winners: dequeue, update credits/bindings, enter the
+            //     crossbar register; return credits upstream. ---
+            for in_port in Port::ALL {
+                let pi = in_port.index();
+                let Some((vc, binding)) = granted[pi] else { continue };
+                grants += 1;
+                let next = vc + 1;
+                self.in_rr[pi] = if next == vcs { 0 } else { next };
+                let mut flit = self.pop_input(pi, vc).expect("granted VC must be non-empty");
+                self.buffered -= 1;
+                self.port_occ[pi] -= 1;
+                self.activity.buffer_reads += 1;
+                flit.vc = binding.out_vc;
+                let opi = binding.out_port.index();
+                if binding.out_port != Port::Local {
+                    let cidx = opi * vcs + binding.out_vc as usize;
+                    debug_assert!(self.credits[cidx] > 0);
+                    self.credits[cidx] -= 1;
+                }
+                if flit.kind.is_tail() {
+                    self.unbind_input(pi, vc);
+                    self.out_owned[opi] &= !(1u64 << binding.out_vc);
+                }
+                if in_port != Port::Local {
+                    // The credit is for the buffer slot freed at the
+                    // *arrival* VC, not the downstream VC just written
+                    // into the flit.
+                    out.credits.push(CreditReturn {
+                        in_port,
+                        vc: vc as u8,
+                    });
+                }
+                self.xbar_reg.push((flit, binding.out_port));
+            }
+        }
+        self.activity.arb_grants += grants;
+        // Blocked accounting: every non-empty VC whose front flit did not
+        // move waits one more cycle. This includes credit-starved and
+        // VA-starved waiting, which is exactly the back-pressure the
+        // blocking-delay congestion metric should observe.
+        self.activity.head_blocked_cycles += nonempty_vcs.saturating_sub(grants);
+    }
+
+    /// Stage 1, reference implementation: the original scan-everything
+    /// allocator, byte-for-byte the pre-scheduler behaviour. Kept as an
+    /// independent twin of [`Router::allocate`] for the forced-full-step
+    /// baseline and the differential tests.
+    fn allocate_reference(&mut self, neighbor_active: &[bool; NUM_PORTS], out: &mut RouterOutput) {
         // --- VC allocation for head flits without a binding ---
         for port in Port::ALL {
             for vc in 0..self.vcs {
@@ -611,10 +956,14 @@ impl Router {
                 if let Some(ovc) = chosen {
                     self.vc_rr[out_port.index()] = (ovc + 1) % self.vcs;
                     self.out_owned[out_port.index()] |= 1u64 << ovc;
-                    self.input_mut(port, vc).bind(Binding {
-                        out_port,
-                        out_vc: ovc as u8,
-                    });
+                    self.bind_input(
+                        port.index(),
+                        vc,
+                        Binding {
+                            out_port,
+                            out_vc: ovc as u8,
+                        },
+                    );
                 }
             }
         }
@@ -680,7 +1029,7 @@ impl Router {
             let Some((vc, binding)) = granted[pi] else { continue };
             grants += 1;
             self.in_rr[pi] = (vc + 1) % self.vcs;
-            let mut flit = self.input_mut(in_port, vc).pop().expect("granted VC must be non-empty");
+            let mut flit = self.pop_input(pi, vc).expect("granted VC must be non-empty");
             self.buffered -= 1;
             self.port_occ[pi] -= 1;
             self.activity.buffer_reads += 1;
@@ -692,7 +1041,7 @@ impl Router {
                 self.credits[cidx] -= 1;
             }
             if flit.kind.is_tail() {
-                self.input_mut(in_port, vc).unbind();
+                self.unbind_input(pi, vc);
                 self.out_owned[opi] &= !(1u64 << binding.out_vc);
             }
             if in_port != Port::Local {
@@ -736,6 +1085,49 @@ impl Router {
                     compensated_sleep_cycles: p.compensated_at(cycle),
                 })
                 .fold(GatingActivity::default(), GatingActivity::merged),
+        }
+    }
+
+    /// Lag-aware variant of [`Router::gating_activity`] for the event
+    /// scheduler: credits `lag` deferred idle ticks to whichever
+    /// residency counter the machine's *current* state class accrues
+    /// into. Exact because the class is constant across a deferred
+    /// stretch (the scheduler materializes a router before any class
+    /// transition can land), and `compensated_at` is already time-based.
+    pub fn gating_activity_lagged(&self, cycle: u64, lag: u64) -> GatingActivity {
+        fn one(p: &PowerStateMachine, cycle: u64, lag: u64) -> GatingActivity {
+            let mut g = GatingActivity {
+                active_cycles: p.active_cycles,
+                sleep_cycles: p.sleep_cycles,
+                wakeup_cycles: p.wakeup_cycles,
+                sleep_transitions: p.sleep_transitions,
+                compensated_sleep_cycles: p.compensated_at(cycle),
+            };
+            match p.state() {
+                PowerState::Active => g.active_cycles += lag,
+                PowerState::Sleep => g.sleep_cycles += lag,
+                PowerState::WakeUp { .. } => g.wakeup_cycles += lag,
+            }
+            g
+        }
+        match &self.port_psm {
+            None => one(&self.psm, cycle, lag),
+            Some(psms) => psms
+                .iter()
+                .map(|p| one(p, cycle, lag))
+                .fold(GatingActivity::default(), GatingActivity::merged),
+        }
+    }
+
+    /// Power state as it would read after `lag` further idle ticks (a
+    /// wake-up countdown shortened by the deferred stretch; Sleep and
+    /// Active unchanged).
+    pub fn power_state_lagged(&self, lag: u64) -> PowerState {
+        match self.psm.state() {
+            PowerState::WakeUp { remaining } => PowerState::WakeUp {
+                remaining: remaining - (lag.min(u64::from(remaining) - 1) as u32),
+            },
+            s => s,
         }
     }
 

@@ -55,6 +55,30 @@ impl LoadSchedule {
         ])
     }
 
+    /// A periodic on/off burst schedule: `on_rate` for the first
+    /// `on_cycles` of every period, `off_rate` for the remaining
+    /// `off_cycles`, repeating for `periods` periods (then `off_rate`
+    /// forever). The square wave alternates saturating bursts with
+    /// near-idle valleys — the regime that exercises both halves of the
+    /// event scheduler (hot-set stepping and wakeup-queue deferral) in
+    /// one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a phase length is zero, `periods` is zero, or a rate is
+    /// negative.
+    pub fn square_wave(on_cycles: u64, off_cycles: u64, on_rate: f64, off_rate: f64, periods: u32) -> Self {
+        assert!(on_cycles > 0 && off_cycles > 0, "phase lengths must be non-zero");
+        assert!(periods > 0, "need at least one period");
+        let mut segments = Vec::with_capacity(2 * periods as usize);
+        for p in 0..periods as u64 {
+            let start = p * (on_cycles + off_cycles);
+            segments.push((start, on_rate));
+            segments.push((start + on_cycles, off_rate));
+        }
+        LoadSchedule::piecewise(segments)
+    }
+
     /// Offered load at a given cycle.
     pub fn rate_at(&self, cycle: u64) -> f64 {
         let mut rate = self.segments[0].1;
@@ -97,6 +121,25 @@ mod tests {
         assert_eq!(s.rate_at(2100), 0.10);
         assert_eq!(s.rate_at(3000), 0.01);
         assert_eq!(s.peak_rate(), 0.30);
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let s = LoadSchedule::square_wave(100, 300, 0.4, 0.001, 3);
+        assert_eq!(s.rate_at(0), 0.4);
+        assert_eq!(s.rate_at(99), 0.4);
+        assert_eq!(s.rate_at(100), 0.001);
+        assert_eq!(s.rate_at(399), 0.001);
+        assert_eq!(s.rate_at(400), 0.4);
+        assert_eq!(s.rate_at(850), 0.001);
+        assert_eq!(s.rate_at(10_000), 0.001, "off-rate persists past the last period");
+        assert_eq!(s.peak_rate(), 0.4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn square_wave_zero_phase_panics() {
+        LoadSchedule::square_wave(0, 10, 0.1, 0.0, 1);
     }
 
     #[test]

@@ -397,7 +397,7 @@ impl Parser<'_> {
                             let cp = self.hex4()?;
                             // Surrogate pairs for astral-plane chars.
                             let c = if (0xD800..0xDC00).contains(&cp) {
-                                if !(self.peek() == Some(b'\\')) {
+                                if self.peek() != Some(b'\\') {
                                     return Err(JsonError::new("lone high surrogate"));
                                 }
                                 self.pos += 1;

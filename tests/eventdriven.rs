@@ -1,0 +1,287 @@
+//! Differential suite for the event-driven busy-path core.
+//!
+//! `Network::step` defaults to event/wakeup scheduling: a cycle only
+//! touches routers that have work, receive a delivery, or whose wake-up
+//! countdown expires, with everything else deferred and materialized
+//! lazily. The contract is *bit-identity* with the forced per-cycle
+//! scan-everything loop (`set_force_full_step(true)`), which also runs
+//! the independently-implemented reference allocator — so the twins
+//! compared here are two genuinely distinct code paths, not one
+//! implementation diffed against itself.
+//!
+//! Three layers of evidence: the six pinned determinism goldens (stats
+//! fingerprints, full snapshots, per-packet latency histograms), the
+//! recording-telemetry trace and CSV-timeline diffs, and a randomized
+//! property over topology / subnet count / buffer shape / gating policy
+//! under bursty and saturating loads, which reports the first divergent
+//! cycle on failure.
+
+use catnap_repro::catnap::{
+    CongestionMetric, GatingPolicy, MetricKind, MultiNoc, MultiNocConfig, SelectorKind,
+};
+use catnap_repro::noc::{MeshDims, SchedStats};
+use catnap_repro::telemetry::{diff_csv_timelines, diff_traces, power_timeline_csv, RecordingSink};
+use catnap_repro::traffic::schedule::LoadSchedule;
+use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload};
+use catnap_repro::util::check::Checker;
+use std::collections::BTreeMap;
+
+/// Per-packet latency histogram (exact cycle resolution): drains the
+/// delivered tail flits each cycle so the delivery cycle is known, and
+/// buckets `delivery - created`.
+type LatencyHistogram = BTreeMap<u64, u64>;
+
+/// Runs the golden scenario for `cycles` with the given stepping mode
+/// and returns everything the comparison needs.
+fn golden_run(
+    selector: SelectorKind,
+    gating: bool,
+    cycles: u64,
+    force_full: bool,
+) -> (MultiNoc, LatencyHistogram) {
+    let cfg = MultiNocConfig::catnap_4x128().selector(selector).gating(gating).seed(7);
+    let mut net = MultiNoc::new(cfg);
+    net.set_force_full_step(force_full);
+    net.set_track_deliveries(true);
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.08, 512, net.dims(), 7);
+    let mut histogram = LatencyHistogram::new();
+    for _ in 0..cycles {
+        load.drive(&mut net);
+        net.step();
+        let now = net.cycle();
+        for tail in net.drain_delivered() {
+            *histogram.entry(now.saturating_sub(tail.created_cycle)).or_insert(0) += 1;
+        }
+    }
+    (net, histogram)
+}
+
+/// All six pinned determinism goldens, replayed through the event
+/// scheduler against the forced full-step twin: stats fingerprints,
+/// full snapshots, final reports and per-packet latency histograms must
+/// be bit-identical, and the scheduler must actually have engaged.
+#[test]
+fn goldens_bit_identical_eventdriven_vs_full_step() {
+    let pinned = [
+        (SelectorKind::RoundRobin, true, (7416, 290007, 325)),
+        (SelectorKind::RoundRobin, false, (7502, 167583, 0)),
+        (SelectorKind::Random, true, (7430, 288557, 331)),
+        (SelectorKind::Random, false, (7504, 168413, 0)),
+        (SelectorKind::CatnapPriority, true, (7443, 248092, 222)),
+        (SelectorKind::CatnapPriority, false, (7447, 225011, 99)),
+    ];
+    for (selector, gating, want) in pinned {
+        let (mut full, hist_full) = golden_run(selector, gating, 1_500, true);
+        let (mut event, hist_event) = golden_run(selector, gating, 1_500, false);
+
+        let scope = format!("{selector:?} gating={gating}");
+        assert_eq!(event.snapshot(), full.snapshot(), "snapshots diverged for {scope}");
+        assert_eq!(hist_event, hist_full, "latency histograms diverged for {scope}");
+        let runs: u64 = (0..event.num_subnets()).map(|s| event.subnet(s).sched_stats().router_runs).sum();
+        assert!(runs > 0, "event-driven run never engaged the scheduler for {scope}");
+
+        let report = event.finish();
+        assert_eq!(report, full.finish(), "final reports diverged for {scope}");
+        let snap = event.snapshot();
+        let got = (report.packets_delivered, snap.latency_sum, snap.or_switch_events);
+        if std::env::var_os("CATNAP_PRINT_GOLDENS").is_some() {
+            println!("({selector:?}, {gating}, {got:?}),");
+        } else {
+            assert_eq!(got, want, "event-driven stepping changed the golden for {scope}");
+        }
+    }
+}
+
+/// Recording telemetry on every scope: the event-driven twin must
+/// produce byte-identical event traces and exported CSV timelines.
+/// Divergences go through the trace-diff tooling so a failure names the
+/// first bad cycle.
+#[test]
+fn eventdriven_preserves_traces_and_timelines() {
+    const CYCLES: u64 = 6_000;
+    let cfg = || MultiNocConfig::catnap_4x128().gating(true).seed(31);
+    let load = |dims| SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.02, 512, dims, 31);
+
+    let run = |force_full: bool| {
+        let mut net = MultiNoc::with_sinks(cfg(), |_| RecordingSink::new());
+        net.set_force_full_step(force_full);
+        let mut l = load(net.dims());
+        for _ in 0..CYCLES {
+            l.drive(&mut net);
+            net.step();
+        }
+        let trace = net.take_trace();
+        (net.snapshot(), net.finish(), trace)
+    };
+    let (snap_full, report_full, trace_full) = run(true);
+    let (snap_event, report_event, trace_event) = run(false);
+
+    assert_eq!(snap_event, snap_full);
+    assert_eq!(report_event, report_full);
+    let d = diff_traces(&trace_full, &trace_event);
+    assert!(d.is_identical(), "event traces diverged:\n{d}");
+    for epoch in [64u64, 512, 4096] {
+        let cd = diff_csv_timelines(
+            &power_timeline_csv(&trace_full, epoch),
+            &power_timeline_csv(&trace_event, epoch),
+        );
+        assert!(cd.is_identical(), "CSV timelines diverged at epoch {epoch}:\n{cd}");
+    }
+}
+
+/// The escape hatch fully disables the wakeup queue: a forced-full-step
+/// run must finish with every subnet's scheduler counters at zero —
+/// no router runs, no wakeup pops, no deferred-stretch syncs — while
+/// producing results identical to the scheduled run (the mirror of the
+/// fast-forward escape-hatch check in `tests/fastforward.rs`, one layer
+/// down).
+#[test]
+fn force_full_step_bypasses_scheduler_entirely() {
+    let run = |force_full: bool| {
+        let cfg = MultiNocConfig::catnap_4x128().gating(true).seed(13);
+        let mut net = MultiNoc::new(cfg);
+        net.set_force_full_step(force_full);
+        net.set_track_deliveries(true);
+        let mut load =
+            SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.03, 512, net.dims(), 13);
+        for _ in 0..4_000 {
+            load.drive(&mut net);
+            net.step();
+        }
+        let sched: Vec<SchedStats> = (0..net.num_subnets()).map(|s| net.subnet(s).sched_stats()).collect();
+        (net.drain_delivered(), net.snapshot(), net.finish(), sched)
+    };
+    let (tails_full, snap_full, report_full, sched_full) = run(true);
+    let (tails_event, snap_event, report_event, sched_event) = run(false);
+
+    for (s, stats) in sched_full.iter().enumerate() {
+        assert_eq!(
+            *stats,
+            SchedStats::default(),
+            "forced full stepping must leave subnet {s}'s scheduler untouched"
+        );
+    }
+    assert!(
+        sched_event.iter().any(|s| s.router_runs > 0 && s.syncs > 0),
+        "scheduled twin must actually defer and run routers: {sched_event:?}"
+    );
+    assert_eq!(tails_event, tails_full, "ejection streams diverged");
+    assert_eq!(snap_event, snap_full);
+    assert_eq!(report_event, report_full);
+}
+
+/// Input of the randomized differential property.
+#[derive(Debug)]
+struct PropInput {
+    dims: MeshDims,
+    subnets: usize,
+    vcs: usize,
+    vc_depth: usize,
+    selector: SelectorKind,
+    policy: GatingPolicy,
+    metric: MetricKind,
+    /// Peak (burst) offered load; saturating for the narrow widths used.
+    on_rate: f64,
+    /// Valley offered load (near-idle so the mesh drains and gates).
+    off_rate: f64,
+    seed: u64,
+}
+
+/// Builds the config for one property case.
+fn prop_cfg(input: &PropInput) -> MultiNocConfig {
+    let mut cfg = MultiNocConfig::bandwidth_equivalent(input.subnets)
+        .selector(input.selector)
+        .gating_policy(input.policy)
+        .metric(CongestionMetric::paper_default(input.metric))
+        .seed(input.seed);
+    cfg.dims = input.dims;
+    cfg.vcs = input.vcs;
+    cfg.vc_depth = input.vc_depth;
+    cfg
+}
+
+/// The bursty/saturating load for one property case: saturating bursts
+/// alternating with near-idle valleys, so one run exercises hot-set
+/// stepping, drain-out, gating, deferral and wake-up.
+fn prop_load(input: &PropInput, dims: MeshDims) -> SyntheticWorkload {
+    let schedule = LoadSchedule::square_wave(220, 380, input.on_rate, input.off_rate, 4);
+    SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule, 512, dims, input.seed)
+}
+
+/// Re-runs both twins of a failing case cycle by cycle, comparing
+/// snapshots after every cycle: the shrink step that turns "something
+/// diverged after N cycles" into "the first divergent cycle is C".
+fn first_divergent_cycle(input: &PropInput, cycles: u64) -> Option<u64> {
+    let mut full = MultiNoc::new(prop_cfg(input));
+    full.set_force_full_step(true);
+    let mut event = MultiNoc::new(prop_cfg(input));
+    let mut lf = prop_load(input, full.dims());
+    let mut le = prop_load(input, event.dims());
+    for c in 0..cycles {
+        lf.drive(&mut full);
+        full.step();
+        le.drive(&mut event);
+        event.step();
+        if event.snapshot() != full.snapshot() {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Property: for arbitrary mesh shape, subnet count, buffer shape,
+/// selector, gating policy and congestion metric, the event-driven core
+/// yields the same ejection stream, snapshot and final report as forced
+/// per-cycle stepping under a bursty, saturating load.
+#[test]
+fn prop_eventdriven_equals_percycle() {
+    const CYCLES: u64 = 2_400;
+    Checker::new("prop_eventdriven_equals_percycle").cases(10).run(
+        |rng| PropInput {
+            dims: *rng.choose(&[MeshDims::new(3, 3), MeshDims::new(4, 4), MeshDims::new(5, 3)]),
+            subnets: *rng.choose(&[1usize, 2, 4]),
+            vcs: *rng.choose(&[2usize, 4]),
+            vc_depth: *rng.choose(&[2usize, 4, 8]),
+            selector: *rng.choose(&[
+                SelectorKind::RoundRobin,
+                SelectorKind::Random,
+                SelectorKind::CatnapPriority,
+            ]),
+            policy: *rng.choose(&[
+                GatingPolicy::None,
+                GatingPolicy::LocalIdle,
+                GatingPolicy::LocalIdlePort,
+                GatingPolicy::CatnapRcs,
+            ]),
+            metric: *rng.choose(&[MetricKind::Bfm, MetricKind::IqOcc, MetricKind::Delay]),
+            on_rate: 0.15 + rng.gen::<f64>() * 0.35,
+            off_rate: rng.gen::<f64>() * 0.002,
+            seed: rng.gen_range(0u64..10_000),
+        },
+        |input| {
+            let run = |force_full: bool| {
+                let mut net = MultiNoc::new(prop_cfg(input));
+                net.set_force_full_step(force_full);
+                net.set_track_deliveries(true);
+                let mut load = prop_load(input, net.dims());
+                for _ in 0..CYCLES {
+                    load.drive(&mut net);
+                    net.step();
+                }
+                (net.drain_delivered(), net.snapshot(), net.finish())
+            };
+            let (tails_full, snap_full, report_full) = run(true);
+            let (tails_event, snap_event, report_event) = run(false);
+            if tails_event != tails_full || snap_event != snap_full || report_event != report_full {
+                let at = first_divergent_cycle(input, CYCLES)
+                    .map(|c| format!("first divergent cycle: {c}"))
+                    .unwrap_or_else(|| "snapshots re-converged; divergence is in the ejection stream or final report".into());
+                return Err(format!(
+                    "event-driven twin diverged from per-cycle twin ({at}); \
+                     snapshots: {snap_event:?} vs {snap_full:?}"
+                ));
+            }
+            Ok(())
+        },
+    );
+}
