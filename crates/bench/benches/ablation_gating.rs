@@ -7,7 +7,10 @@ use catnap_bench::{emit_json, print_banner, run_synthetic, SweepPoint, Table};
 use catnap_traffic::SyntheticPattern;
 
 fn main() {
-    print_banner("Ablation", "gating timing: idle-detect and wake-up delay, 4NT-128b-PG @ 0.05");
+    print_banner(
+        "Ablation",
+        "gating timing: idle-detect and wake-up delay, 4NT-128b-PG @ 0.05",
+    );
     let mut all: Vec<SweepPoint> = Vec::new();
 
     println!("idle-detect window (T-idle-detect):");
@@ -15,16 +18,19 @@ fn main() {
     for t_idle in [1u32, 2, 4, 8, 16, 32] {
         let mut cfg = MultiNocConfig::catnap_4x128().gating(true).named(&format!("idle-{t_idle}"));
         cfg.gating_cfg.t_idle_detect = t_idle;
-        let p = run_synthetic(cfg.clone(), SyntheticPattern::UniformRandom, 0.05, 512, 3_000, 5_000, 16);
-        // Re-run to count transitions over the whole run.
-        let mut net = catnap::MultiNoc::new(cfg);
-        let mut load = catnap_traffic::SyntheticWorkload::new(
+        let p = run_synthetic(
+            cfg.clone(),
             SyntheticPattern::UniformRandom,
             0.05,
             512,
-            net.dims(),
+            3_000,
+            5_000,
             16,
         );
+        // Re-run to count transitions over the whole run.
+        let mut net = catnap::MultiNoc::new(cfg);
+        let mut load =
+            catnap_traffic::SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.05, 512, net.dims(), 16);
         for _ in 0..8_000 {
             load.drive(&mut net);
             net.step();

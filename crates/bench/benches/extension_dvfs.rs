@@ -23,7 +23,15 @@ struct Row {
     static_w: f64,
     total_w: f64,
 }
-catnap_util::impl_to_json_struct!(Row { design, offered, latency_cycles, latency_ns, dynamic_w, static_w, total_w });
+catnap_util::impl_to_json_struct!(Row {
+    design,
+    offered,
+    latency_cycles,
+    latency_ns,
+    dynamic_w,
+    static_w,
+    total_w
+});
 
 fn run(mut cfg: MultiNocConfig, vdd: f64, freq_hz: f64, offered: f64, name: &str) -> Row {
     cfg.vdd = vdd;
@@ -68,13 +76,36 @@ fn main() {
     let f_low = model.f_max_hz(512, 0.625); // Table 2: 1.4 GHz
     let mut rows = Vec::new();
     let mut t = Table::new([
-        "design", "offered (pkt/node/2GHz-cy)", "latency (ns)", "dyn (W)", "static (W)", "total (W)",
+        "design",
+        "offered (pkt/node/2GHz-cy)",
+        "latency (ns)",
+        "dyn (W)",
+        "static (W)",
+        "total (W)",
     ]);
     for &offered in &[0.01f64, 0.05, 0.10] {
         let candidates = vec![
-            run(MultiNocConfig::single_noc_512b(), 0.750, 2.0e9, offered, "1NT-512b @2.0GHz/0.750V"),
-            run(MultiNocConfig::single_noc_512b(), 0.625, f_low, offered, "1NT-512b DVFS @1.4GHz/0.625V"),
-            run(MultiNocConfig::catnap_4x128().gating(true), 0.625, 2.0e9, offered, "4NT-128b-PG @2.0GHz/0.625V"),
+            run(
+                MultiNocConfig::single_noc_512b(),
+                0.750,
+                2.0e9,
+                offered,
+                "1NT-512b @2.0GHz/0.750V",
+            ),
+            run(
+                MultiNocConfig::single_noc_512b(),
+                0.625,
+                f_low,
+                offered,
+                "1NT-512b DVFS @1.4GHz/0.625V",
+            ),
+            run(
+                MultiNocConfig::catnap_4x128().gating(true),
+                0.625,
+                2.0e9,
+                offered,
+                "4NT-128b-PG @2.0GHz/0.625V",
+            ),
         ];
         for r in candidates {
             t.row([

@@ -32,10 +32,16 @@ fn main() {
         .map(|c| latency_sweep(c, SyntheticPattern::UniformRandom, &loads, 512, 3_000, 5_000, 23))
         .collect();
     let names: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
-    for (title, which) in [("total power (W)", 0usize), ("latency (cycles)", 1), ("sleep fraction (%)", 2)] {
+    for (title, which) in [
+        ("total power (W)", 0usize),
+        ("latency (cycles)", 1),
+        ("sleep fraction (%)", 2),
+    ] {
         println!("\n{title}");
         let mut t = Table::new(
-            std::iter::once("offered".to_string()).chain(names.iter().cloned()).collect::<Vec<_>>(),
+            std::iter::once("offered".to_string())
+                .chain(names.iter().cloned())
+                .collect::<Vec<_>>(),
         );
         for (i, &l) in loads.iter().enumerate() {
             let mut cells = vec![format!("{l:.2}")];

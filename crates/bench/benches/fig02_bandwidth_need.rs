@@ -15,7 +15,12 @@ struct Row {
     ipc: f64,
     normalized: f64,
 }
-catnap_util::impl_to_json_struct!(Row { mix, config, ipc, normalized });
+catnap_util::impl_to_json_struct!(Row {
+    mix,
+    config,
+    ipc,
+    normalized
+});
 
 fn main() {
     print_banner(

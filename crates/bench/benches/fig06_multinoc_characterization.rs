@@ -10,8 +10,7 @@
 
 use catnap::{MultiNocConfig, SelectorKind};
 use catnap_bench::{
-    emit_csv_timeline, emit_json, emit_trace, latency_sweep, print_banner, run_synthetic,
-    trace_synthetic, Table,
+    emit_csv_timeline, emit_json, emit_trace, latency_sweep, print_banner, run_synthetic, trace_synthetic, Table,
 };
 use catnap_traffic::SyntheticPattern;
 

@@ -22,7 +22,18 @@ struct Row {
     static_: f64,
     total: f64,
 }
-catnap_util::impl_to_json_struct!(Row { design, ni, link, clock, control, crossbar, buffer, dynamic, static_, total });
+catnap_util::impl_to_json_struct!(Row {
+    design,
+    ni,
+    link,
+    clock,
+    control,
+    crossbar,
+    buffer,
+    dynamic,
+    static_,
+    total
+});
 
 fn main() {
     print_banner("Figure 7", "network power by component at per-port load factor 0.5");
@@ -33,7 +44,16 @@ fn main() {
         DesignPoint::multi_4x128b_0v625(),
     ];
     let mut table = Table::new([
-        "design", "NI", "Link", "Clock", "Control", "Crossbar", "Buffer", "dyn(W)", "static(W)", "total(W)",
+        "design",
+        "NI",
+        "Link",
+        "Clock",
+        "Control",
+        "Crossbar",
+        "Buffer",
+        "dyn(W)",
+        "static(W)",
+        "total(W)",
     ]);
     let mut rows = Vec::new();
     for d in designs {

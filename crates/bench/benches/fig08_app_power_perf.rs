@@ -32,9 +32,7 @@ fn main() {
     let warmup = 3_000;
     let measure = 15_000;
     let mut results: Vec<MixResult> = Vec::new();
-    let mut table = Table::new([
-        "mix", "config", "dyn(W)", "static(W)", "total(W)", "IPC", "norm-perf",
-    ]);
+    let mut table = Table::new(["mix", "config", "dyn(W)", "static(W)", "total(W)", "IPC", "norm-perf"]);
     let mut avg_power = std::collections::HashMap::<String, f64>::new();
     let mut avg_perf = std::collections::HashMap::<String, f64>::new();
     for mix in WorkloadMix::ALL {

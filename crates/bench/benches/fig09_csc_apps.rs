@@ -14,7 +14,11 @@ struct Row {
     config: String,
     csc_percent: f64,
 }
-catnap_util::impl_to_json_struct!(Row { mix, config, csc_percent });
+catnap_util::impl_to_json_struct!(Row {
+    mix,
+    config,
+    csc_percent
+});
 
 fn main() {
     print_banner("Figure 9", "compensated sleep cycles (%), application mixes");

@@ -13,7 +13,10 @@ use catnap_bench::{emit_json, latency_sweep, print_banner, SweepPoint, Table};
 use catnap_traffic::SyntheticPattern;
 
 fn main() {
-    print_banner("Figure 10", "uniform random: power / CSC / throughput / latency vs load");
+    print_banner(
+        "Figure 10",
+        "uniform random: power / CSC / throughput / latency vs load",
+    );
     let loads = [0.01, 0.03, 0.05, 0.08, 0.12, 0.16, 0.20, 0.28, 0.36, 0.44];
     let configs = vec![
         MultiNocConfig::single_noc_512b(),
@@ -38,7 +41,9 @@ fn main() {
     ] {
         println!("\n{title}");
         let mut t = Table::new(
-            std::iter::once("offered".to_string()).chain(names.iter().cloned()).collect::<Vec<_>>(),
+            std::iter::once("offered".to_string())
+                .chain(names.iter().cloned())
+                .collect::<Vec<_>>(),
         );
         for (i, &l) in loads.iter().enumerate() {
             let mut cells = vec![format!("{l:.2}")];

@@ -65,7 +65,9 @@ fn main() {
         println!("\nlatency (cycles) — {} traffic", pattern.name());
         let names: Vec<String> = policies().iter().map(|(n, _)| n.to_string()).collect();
         let mut t = Table::new(
-            std::iter::once("offered".to_string()).chain(names.iter().cloned()).collect::<Vec<_>>(),
+            std::iter::once("offered".to_string())
+                .chain(names.iter().cloned())
+                .collect::<Vec<_>>(),
         );
         let sweeps: Vec<Vec<SweepPoint>> = policies()
             .into_iter()

@@ -18,20 +18,21 @@ struct Sample {
     subnet_share: Vec<f64>,
     routers_asleep: usize,
 }
-catnap_util::impl_to_json_struct!(Sample { cycle, offered, accepted, subnet_share, routers_asleep });
+catnap_util::impl_to_json_struct!(Sample {
+    cycle,
+    offered,
+    accepted,
+    subnet_share,
+    routers_asleep
+});
 
 fn main() {
     print_banner("Figure 12", "bursty traffic: throughput ramp and subnet utilization");
     let cfg = MultiNocConfig::catnap_4x128().gating(true);
     let mut net = MultiNoc::new(cfg);
     let schedule = LoadSchedule::fig12_bursts();
-    let mut load = SyntheticWorkload::with_schedule(
-        SyntheticPattern::UniformRandom,
-        schedule.clone(),
-        512,
-        net.dims(),
-        12,
-    );
+    let mut load =
+        SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule.clone(), 512, net.dims(), 12);
     let window = 50u64;
     let horizon = 3_000u64;
     let mut prev = net.snapshot();

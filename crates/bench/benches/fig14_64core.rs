@@ -13,8 +13,10 @@ use catnap_traffic::SyntheticPattern;
 fn main() {
     print_banner("Figure 14", "64-core (4x4 mesh): CSC and latency, 1NT-256b vs 2NT-128b");
     let loads = [0.01, 0.03, 0.06, 0.10, 0.15, 0.20, 0.28, 0.36];
-    let configs = [MultiNocConfig::single_noc_256b_64core().gating(true),
-        MultiNocConfig::catnap_2x128_64core().gating(true)];
+    let configs = [
+        MultiNocConfig::single_noc_256b_64core().gating(true),
+        MultiNocConfig::catnap_2x128_64core().gating(true),
+    ];
     let mut all: Vec<SweepPoint> = Vec::new();
     let sweeps: Vec<Vec<SweepPoint>> = configs
         .iter()

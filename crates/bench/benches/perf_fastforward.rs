@@ -64,12 +64,7 @@ catnap_util::impl_to_json_struct!(PerfFastForward {
 /// cycles and times the whole run. With `force_full` the engine is
 /// pinned to per-cycle stepping — the baseline the speedup is measured
 /// against; the simulation itself is identical either way.
-fn run_timed(
-    scenario: &str,
-    offered: f64,
-    cycles: u64,
-    force_full: bool,
-) -> (Scenario, SkipStats, Snapshot, u64) {
+fn run_timed(scenario: &str, offered: f64, cycles: u64, force_full: bool) -> (Scenario, SkipStats, Snapshot, u64) {
     let cfg = MultiNocConfig::catnap_4x128().gating(true).seed(7).step_threads(1);
     let mut net = MultiNoc::new(cfg);
     net.set_force_full_step(force_full);
@@ -95,7 +90,10 @@ fn run_timed(
 }
 
 fn main() {
-    print_banner("perf_fastforward", "quiescence fast-forward speedup vs forced per-cycle baseline");
+    print_banner(
+        "perf_fastforward",
+        "quiescence fast-forward speedup vs forced per-cycle baseline",
+    );
 
     // --- Light intermittent load: the engine's target regime ---
     // 5e-5 packets/node/cycle on 64 nodes is one packet every ~300
@@ -103,11 +101,12 @@ fn main() {
     // arrivals, so nearly the whole run is skippable.
     const LIGHT_OFFERED: f64 = 5e-5;
     const LIGHT_CYCLES: u64 = 200_000;
-    let (full, _, snap_full, del_full) =
-        run_timed("light_gated_full_step", LIGHT_OFFERED, LIGHT_CYCLES, true);
-    let (fast, stats, snap_fast, del_fast) =
-        run_timed("light_gated_fastforward", LIGHT_OFFERED, LIGHT_CYCLES, false);
-    assert_eq!(snap_full, snap_fast, "fast-forward must be bit-identical to per-cycle stepping");
+    let (full, _, snap_full, del_full) = run_timed("light_gated_full_step", LIGHT_OFFERED, LIGHT_CYCLES, true);
+    let (fast, stats, snap_fast, del_fast) = run_timed("light_gated_fastforward", LIGHT_OFFERED, LIGHT_CYCLES, false);
+    assert_eq!(
+        snap_full, snap_fast,
+        "fast-forward must be bit-identical to per-cycle stepping"
+    );
     assert_eq!(del_full, del_fast, "fast-forward must deliver the same packets");
     let fastforward_speedup = fast.cycles_per_sec / full.cycles_per_sec;
     let skipped_fraction = stats.skipped_cycles as f64 / LIGHT_CYCLES as f64;

@@ -218,7 +218,10 @@ fn run_timed_recording(
 }
 
 fn main() {
-    print_banner("perf_throughput", "simulator cycles/sec and speedups vs in-run baselines");
+    print_banner(
+        "perf_throughput",
+        "simulator cycles/sec and speedups vs in-run baselines",
+    );
 
     let host_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64;
 

@@ -12,7 +12,12 @@ struct Row {
     avg_mpki: f64,
     paper_avg_mpki: f64,
 }
-catnap_util::impl_to_json_struct!(Row { mix, applications, avg_mpki, paper_avg_mpki });
+catnap_util::impl_to_json_struct!(Row {
+    mix,
+    applications,
+    avg_mpki,
+    paper_avg_mpki
+});
 
 fn main() {
     print_banner("Table 3", "multiprogrammed workload mixes (32 instances each)");

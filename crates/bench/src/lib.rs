@@ -11,8 +11,10 @@
 //! Run everything with `cargo bench --workspace`, or one figure with
 //! e.g. `cargo bench -p catnap-bench --bench fig10_uniform_power_gating`.
 
+pub mod cached;
 pub mod harness;
 pub mod runs;
 
+pub use cached::{job_fingerprint, run_job_uncached, run_synthetic_cached, sweep_cached, CacheOutcome, SimJob};
 pub use harness::{emit_csv_timeline, emit_json, emit_trace, print_banner, Table};
-pub use runs::{latency_sweep, run_mix, run_synthetic, trace_synthetic, MixResult, SweepPoint};
+pub use runs::{latency_sweep, latency_sweep_cached, run_mix, run_synthetic, trace_synthetic, MixResult, SweepPoint};

@@ -1,12 +1,13 @@
 //! Common measurement procedures shared by the figure benches.
 
-use catnap::{MultiNoc, MultiNocConfig, MultiNocPowerReport};
+use crate::cached::{sweep_cached, SimJob};
+use catnap::{MultiNoc, MultiNocConfig, MultiNocPowerReport, SimCache};
 use catnap_multicore::{System, SystemConfig, SystemReport};
 use catnap_power::TechParams;
 use catnap_telemetry::{RecordingSink, Trace};
-use catnap_traffic::{SyntheticPattern, SyntheticWorkload, WorkloadMix};
-use catnap_util::impl_to_json_struct;
+use catnap_traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload, WorkloadMix};
 use catnap_util::pool::{effective_parallelism, ThreadPool};
+use catnap_util::{impl_from_json_struct, impl_to_json_struct};
 
 /// One point of a synthetic-traffic measurement.
 #[derive(Clone, Debug)]
@@ -27,7 +28,24 @@ pub struct SweepPoint {
     pub static_w: f64,
 }
 
-impl_to_json_struct!(SweepPoint { config, offered, accepted, latency, csc, dynamic_w, static_w });
+impl_to_json_struct!(SweepPoint {
+    config,
+    offered,
+    accepted,
+    latency,
+    csc,
+    dynamic_w,
+    static_w
+});
+impl_from_json_struct!(SweepPoint {
+    config,
+    offered,
+    accepted,
+    latency,
+    csc,
+    dynamic_w,
+    static_w
+});
 
 impl SweepPoint {
     /// Total power.
@@ -105,6 +123,11 @@ pub fn trace_synthetic(
 /// thread pool (respecting the `CATNAP_THREADS` override); results come
 /// back in load order, and each point is a deterministic function of its
 /// inputs, so the output is identical to the serial sweep.
+///
+/// When `CATNAP_CACHE_DIR` is set, the sweep routes through the
+/// fingerprint-keyed [`SimCache`] instead ([`latency_sweep_cached`]):
+/// regenerating a figure whose points are already cached becomes O(1)
+/// disk reads, and results are bit-identical either way.
 pub fn latency_sweep(
     cfg: &MultiNocConfig,
     pattern: SyntheticPattern,
@@ -114,6 +137,10 @@ pub fn latency_sweep(
     measure: u64,
     seed: u64,
 ) -> Vec<SweepPoint> {
+    if std::env::var_os("CATNAP_CACHE_DIR").is_some() {
+        let mut cache = SimCache::from_env_or("catnap-cache").expect("CATNAP_CACHE_DIR must be a writable directory");
+        return latency_sweep_cached(&mut cache, cfg, pattern, loads, packet_bits, warmup, measure, seed);
+    }
     // Each worker runs one whole simulation; nested subnet-parallelism
     // inside a point would only oversubscribe the machine.
     let point_cfg = cfg.clone().step_threads(1);
@@ -126,6 +153,41 @@ pub fn latency_sweep(
         })
         .collect();
     pool.run(jobs)
+}
+
+/// [`latency_sweep`] through an explicit result cache: each point is an
+/// O(1) read when previously computed, a checkpoint resume when another
+/// job shares its warm-up prefix, and a full (stored) simulation
+/// otherwise. Points run serially — the cache is the speedup here, and
+/// misses at different constant rates do not share a warm-up prefix
+/// anyway (a warm-up at rate 0.02 is a different warm-up than at 0.05;
+/// use a piecewise [`LoadSchedule`] via [`crate::cached::SimJob`] to
+/// share one).
+#[allow(clippy::too_many_arguments)]
+pub fn latency_sweep_cached(
+    cache: &mut SimCache,
+    cfg: &MultiNocConfig,
+    pattern: SyntheticPattern,
+    loads: &[f64],
+    packet_bits: u32,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let point_cfg = cfg.clone().step_threads(1);
+    let jobs: Vec<SimJob> = loads
+        .iter()
+        .map(|&l| SimJob {
+            cfg: point_cfg.clone(),
+            pattern,
+            schedule: LoadSchedule::constant(l),
+            packet_bits,
+            warmup,
+            measure,
+            seed,
+        })
+        .collect();
+    sweep_cached(cache, &jobs).into_iter().map(|(point, _)| point).collect()
 }
 
 /// Result of a closed-loop multiprogrammed run.
@@ -141,7 +203,12 @@ pub struct MixResult {
     pub power: MultiNocPowerReport,
 }
 
-impl_to_json_struct!(MixResult { config, mix, system, power });
+impl_to_json_struct!(MixResult {
+    config,
+    mix,
+    system,
+    power
+});
 
 /// Runs a workload mix on a network design: `warmup` + `measure` cycles;
 /// power and CSC measured over the `measure` window only.
@@ -195,7 +262,10 @@ mod tests {
         );
         assert_eq!(t.meta.cycles, 800);
         assert_eq!(t.subnets.len(), 2);
-        assert!(!t.policy.is_empty(), "policy stream must carry select/inject/eject events");
+        assert!(
+            !t.policy.is_empty(),
+            "policy stream must carry select/inject/eject events"
+        );
         let kinds = t.kind_counts();
         assert!(kinds[3] > 0, "no select events");
         assert!(kinds[4] > 0, "no inject events");
@@ -220,9 +290,13 @@ mod tests {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_out/fig06.json");
         let text = std::fs::read_to_string(path).expect("read fig06 fixture");
         let fixture = Json::parse(&text).expect("parse fig06 fixture");
-        let Json::Arr(rows) = &fixture else { panic!("fig06 must be a JSON array") };
+        let Json::Arr(rows) = &fixture else {
+            panic!("fig06 must be a JSON array")
+        };
         assert!(!rows.is_empty());
-        let Json::Obj(first) = &rows[0] else { panic!("fig06 rows must be objects") };
+        let Json::Obj(first) = &rows[0] else {
+            panic!("fig06 rows must be objects")
+        };
         let fixture_keys: Vec<&str> = first.iter().map(|(k, _)| k.as_str()).collect();
 
         let p = SweepPoint {
@@ -234,9 +308,54 @@ mod tests {
             dynamic_w: 19.643057834498343,
             static_w: 22.0,
         };
-        let Json::Obj(ours) = p.to_json() else { panic!("SweepPoint must serialize to an object") };
+        let Json::Obj(ours) = p.to_json() else {
+            panic!("SweepPoint must serialize to an object")
+        };
         let our_keys: Vec<&str> = ours.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(our_keys, fixture_keys, "SweepPoint keys drifted from the fig06 series shape");
+        assert_eq!(
+            our_keys, fixture_keys,
+            "SweepPoint keys drifted from the fig06 series shape"
+        );
+    }
+
+    /// The cached sweep path must be a pure wall-clock optimization:
+    /// byte-identical points to the plain pooled sweep, and a repeated
+    /// sweep served entirely from the result cache.
+    #[test]
+    fn cached_sweep_is_bit_identical_to_plain_sweep() {
+        use catnap_util::ToJson;
+        let dir = std::env::temp_dir().join(format!("catnap-runs-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = SimCache::new(&dir, 64).unwrap();
+        let cfg = MultiNocConfig::catnap_2x128_64core().gating(true);
+        let loads = [0.02, 0.05];
+        let canon = |pts: &[SweepPoint]| pts.iter().map(|p| p.to_json().to_compact_string()).collect::<Vec<_>>();
+
+        let plain = latency_sweep(&cfg, SyntheticPattern::UniformRandom, &loads, 512, 200, 200, 7);
+        let first = latency_sweep_cached(
+            &mut cache,
+            &cfg,
+            SyntheticPattern::UniformRandom,
+            &loads,
+            512,
+            200,
+            200,
+            7,
+        );
+        let second = latency_sweep_cached(
+            &mut cache,
+            &cfg,
+            SyntheticPattern::UniformRandom,
+            &loads,
+            512,
+            200,
+            200,
+            7,
+        );
+        assert_eq!(canon(&plain), canon(&first), "cached sweep altered results");
+        assert_eq!(canon(&plain), canon(&second), "cache replay altered results");
+        assert_eq!(cache.stats().result_hits, 2, "second sweep must be all hits");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// serialize ∘ parse is a string-level fixed point on the committed

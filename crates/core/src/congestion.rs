@@ -12,6 +12,7 @@
 //! the status is stable for at least a few cycles.
 
 use catnap_noc::Router;
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 
 /// Which local congestion metric a detector uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -261,7 +262,10 @@ impl LocalDetector {
             // fixed-point: congested stays false.
             CongestionMetric::Bfm { .. } | CongestionMetric::Bfa { .. } | CongestionMetric::IqOcc { .. } => {}
             CongestionMetric::InjectionRate { window, .. } => {
-                debug_assert_eq!(self.window_flits, 0, "injection window carries history; skip was not bounded");
+                debug_assert_eq!(
+                    self.window_flits, 0,
+                    "injection window carries history; skip was not bounded"
+                );
                 let pos = u64::from(self.window_pos) + dt;
                 if pos >= u64::from(window) {
                     // Every boundary crossed latches an all-zero window.
@@ -276,6 +280,30 @@ impl LocalDetector {
                 self.window_pos = (pos % u64::from(window)) as u32;
             }
         }
+    }
+
+    /// Serializes the detector (checkpointing). Every field is mutable
+    /// state — window history must survive a resume so windowed metrics
+    /// latch on the same cycle they would have straight through.
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.put_bool(self.congested);
+        w.put_u32(self.window_pos);
+        w.put_u64(self.window_flits);
+        w.put_f64(self.rate_estimate);
+        w.put_u64(self.last_blocked);
+        w.put_u64(self.last_reads);
+    }
+
+    /// Rebuilds a detector from [`LocalDetector::encode`] output.
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(LocalDetector {
+            congested: r.get_bool()?,
+            window_pos: r.get_u32()?,
+            window_flits: r.get_u64()?,
+            rate_estimate: r.get_f64()?,
+            last_blocked: r.get_u64()?,
+            last_reads: r.get_u64()?,
+        })
     }
 }
 
@@ -473,7 +501,11 @@ mod tests {
             );
         }
         assert!(!d.is_congested());
-        assert_eq!(d.skip_bound(&metric, &idle), 6, "skip must stop before the cycle that latches the window");
+        assert_eq!(
+            d.skip_bound(&metric, &idle),
+            6,
+            "skip must stop before the cycle that latches the window"
+        );
 
         // Delay: router counters moved since the last latch -> dirty.
         let delay = CongestionMetric::Delay {

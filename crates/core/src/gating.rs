@@ -72,13 +72,7 @@ impl GatingPolicy {
     /// in-flight flit checks), so the policy may ask freely; every
     /// granted transition is reported through each network's telemetry
     /// sink.
-    pub fn apply<S: Sink>(
-        self,
-        dims: MeshDims,
-        subnets: &mut [Network<S>],
-        or_nets: &[OrNetwork],
-        nis: &[NodeNi],
-    ) {
+    pub fn apply<S: Sink>(self, dims: MeshDims, subnets: &mut [Network<S>], or_nets: &[OrNetwork], nis: &[NodeNi]) {
         let k = subnets.len();
         match self {
             GatingPolicy::None => {}

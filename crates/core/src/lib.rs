@@ -55,6 +55,8 @@
 //! assert!(report.packets_delivered > 1_000);
 //! ```
 
+pub mod cache;
+pub mod checkpoint;
 pub mod config;
 pub mod congestion;
 pub mod gating;
@@ -64,6 +66,8 @@ pub mod power_report;
 pub mod rcs;
 pub mod select;
 
+pub use cache::{CacheStats, SimCache};
+pub use checkpoint::{config_fingerprint, CHECKPOINT_VERSION};
 pub use config::{MultiNocConfig, SelectorKind};
 pub use congestion::{CongestionMetric, MetricKind};
 pub use gating::GatingPolicy;

@@ -7,11 +7,13 @@ use crate::congestion::{CongestionMetric, LocalDetector, NodeSignals};
 use crate::ni::NodeNi;
 use crate::rcs::OrNetwork;
 use crate::select::{congestion_mask, CatnapPriority, RandomSelect, RoundRobin, SubnetSelector};
+use catnap_noc::checkpoint::{get_flit, put_flit};
 use catnap_noc::quiescence::{Quiescence, QuiescenceTracker};
 use catnap_noc::stats::{GatingActivity, RouterActivity};
 use catnap_noc::{Flit, MeshDims, Network, NodeId, PacketDescriptor, RegionMap};
 use catnap_telemetry::{Event, NopSink, Sink, SinkScope, Trace, TraceMeta};
 use catnap_traffic::generator::{PacketSink, TrafficSource};
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 use catnap_util::pool::{effective_parallelism, ThreadPool};
 
 /// A multiple network-on-chip with Catnap policies.
@@ -127,9 +129,7 @@ impl<S: Sink> MultiNoc<S> {
             RegionMode::Global => RegionMap::global(cfg.dims),
             RegionMode::PerNode => RegionMap::per_node(cfg.dims),
         };
-        let or_nets = (0..k)
-            .map(|_| OrNetwork::new(region_map.clone(), cfg.rcs_period))
-            .collect();
+        let or_nets = (0..k).map(|_| OrNetwork::new(region_map.clone(), cfg.rcs_period)).collect();
         let selector: Box<dyn SubnetSelector + Send> = match cfg.selector {
             SelectorKind::RoundRobin => Box::new(RoundRobin::new(nodes)),
             SelectorKind::Random => Box::new(RandomSelect::new(cfg.seed)),
@@ -535,8 +535,14 @@ impl<S: Sink> MultiNoc<S> {
         if !self.is_quiescent() {
             return 0;
         }
-        debug_assert!(self.nis.iter().all(NodeNi::is_idle), "no outstanding packets but an NI is busy");
-        debug_assert!(self.head_wait.iter().all(|&w| w == 0), "quiescent NIs cannot have waiting heads");
+        debug_assert!(
+            self.nis.iter().all(NodeNi::is_idle),
+            "no outstanding packets but an NI is busy"
+        );
+        debug_assert!(
+            self.head_wait.iter().all(|&w| w == 0),
+            "quiescent NIs cannot have waiting heads"
+        );
         let mut dt = u64::MAX;
         for s in 0..self.cfg.subnets {
             let may_sleep = self.cfg.gating_policy.subnet_gateable(s);
@@ -600,8 +606,14 @@ impl<S: Sink> MultiNoc<S> {
                     ors[s].tick(|_| false);
                 }
             }
-            debug_assert_eq!(dets, self.detectors, "detector closed form diverged from per-cycle replay");
-            debug_assert_eq!(ors, self.or_nets, "OR-network closed form diverged from per-cycle replay");
+            debug_assert_eq!(
+                dets, self.detectors,
+                "detector closed form diverged from per-cycle replay"
+            );
+            debug_assert_eq!(
+                ors, self.or_nets,
+                "OR-network closed form diverged from per-cycle replay"
+            );
         }
     }
 
@@ -654,10 +666,161 @@ impl<S: Sink> MultiNoc<S> {
 
     /// Routers currently active / sleeping / waking, summed over subnets.
     pub fn power_state_census(&self) -> (usize, usize, usize) {
-        self.subnets.iter().map(|n| n.power_state_census()).fold(
-            (0, 0, 0),
-            |(a, s, w), (a2, s2, w2)| (a + a2, s + s2, w + w2),
-        )
+        self.subnets
+            .iter()
+            .map(|n| n.power_state_census())
+            .fold((0, 0, 0), |(a, s, w), (a2, s2, w2)| (a + a2, s + s2, w + w2))
+    }
+
+    /// Serializes the complete simulation state (checkpointing). Must be
+    /// called at a cycle edge — after a [`MultiNoc::step`], before the
+    /// next cycle's traffic drive. The configuration itself is not part
+    /// of the stream; [`MultiNoc::load_state`] overlays onto a fresh
+    /// instance of the *same* configuration (the public checkpoint
+    /// container in [`crate::checkpoint`] guards that with a
+    /// fingerprint). Telemetry sinks are not captured: a resumed
+    /// recording sink starts empty and its suffix matches a
+    /// straight-through run's suffix bit for bit.
+    pub(crate) fn save_state(&mut self, w: &mut ByteWriter) {
+        let k = self.cfg.subnets;
+        w.put_u64(self.cycle);
+        w.put_u64(self.generated_packets);
+        w.put_u64(self.delivered_packets);
+        w.put_u64(self.delivered_flits);
+        w.put_u64(self.latency_sum);
+        w.put_u64(self.latency_max);
+        for s in 0..k {
+            w.put_u64(self.ejected_flits_per_subnet[s]);
+            w.put_u64(self.injected_flits_per_subnet[s]);
+        }
+        w.put_bool(self.track_deliveries);
+        w.put_usize(self.delivered_tails.len());
+        for f in &self.delivered_tails {
+            put_flit(w, f);
+        }
+        for &hw in &self.head_wait {
+            w.put_u32(hw);
+        }
+        w.put_usize(self.busy_nis.len());
+        for &idx in &self.busy_nis {
+            w.put_u32(idx);
+        }
+        for s in 0..k {
+            for &b in &self.lcs[s] {
+                w.put_bool(b);
+            }
+            for det in &self.detectors[s] {
+                det.encode(w);
+            }
+            self.or_nets[s].encode(w);
+            w.put_u64(self.trackers[s].assessments());
+            w.put_u64(self.trackers[s].quiescent_hits());
+        }
+        self.selector.encode_state(w);
+        w.put_bool(self.force_full);
+        w.put_u64(self.skips);
+        w.put_u64(self.skipped_cycles);
+        for net in &mut self.subnets {
+            net.save_state(w);
+        }
+        for ni in &self.nis {
+            ni.encode(w);
+        }
+    }
+
+    /// Overlays serialized state from [`MultiNoc::save_state`] onto this
+    /// freshly-built instance (same configuration). Derived structures —
+    /// the per-subnet set-bit censuses, the busy-NI membership flags, the
+    /// thread pool, scratch buffers — are recomputed, never deserialized.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on a truncated or inconsistent stream; the
+    /// instance must then be discarded.
+    pub(crate) fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let k = self.cfg.subnets;
+        let nodes = self.cfg.dims.num_nodes();
+        self.cycle = r.get_u64()?;
+        self.generated_packets = r.get_u64()?;
+        self.delivered_packets = r.get_u64()?;
+        self.delivered_flits = r.get_u64()?;
+        self.latency_sum = r.get_u64()?;
+        self.latency_max = r.get_u64()?;
+        for s in 0..k {
+            self.ejected_flits_per_subnet[s] = r.get_u64()?;
+            self.injected_flits_per_subnet[s] = r.get_u64()?;
+        }
+        self.track_deliveries = r.get_bool()?;
+        let tails = r.get_usize()?;
+        if tails > 1 << 24 {
+            return Err(CodecError::Invalid("delivery buffer implausibly large"));
+        }
+        self.delivered_tails.clear();
+        for _ in 0..tails {
+            self.delivered_tails.push(get_flit(r)?);
+        }
+        for hw in self.head_wait.iter_mut() {
+            *hw = r.get_u32()?;
+        }
+        let busy = r.get_usize()?;
+        if busy > nodes {
+            return Err(CodecError::Invalid("busy worklist larger than the mesh"));
+        }
+        self.busy_nis.clear();
+        self.ni_busy = vec![false; nodes];
+        for _ in 0..busy {
+            let idx = r.get_u32()?;
+            if idx as usize >= nodes {
+                return Err(CodecError::Invalid("busy NI index out of range"));
+            }
+            if self.busy_nis.last().is_some_and(|&prev| prev >= idx) {
+                return Err(CodecError::Invalid("busy worklist not sorted"));
+            }
+            self.busy_nis.push(idx);
+            self.ni_busy[idx as usize] = true;
+        }
+        for s in 0..k {
+            self.lcs_set[s] = 0;
+            for idx in 0..nodes {
+                let on = r.get_bool()?;
+                self.lcs[s][idx] = on;
+                if on {
+                    self.lcs_set[s] += 1;
+                }
+            }
+            for det in self.detectors[s].iter_mut() {
+                *det = LocalDetector::decode(r)?;
+            }
+            self.or_nets[s] = OrNetwork::decode(r, self.or_nets[s].regions().clone(), self.cfg.rcs_period)?;
+            let assessments = r.get_u64()?;
+            let hits = r.get_u64()?;
+            if hits > assessments {
+                return Err(CodecError::Invalid("quiescence counters inconsistent"));
+            }
+            self.trackers[s] = QuiescenceTracker::from_counters(assessments, hits);
+        }
+        self.selector.decode_state(r)?;
+        self.force_full = r.get_bool()?;
+        self.skips = r.get_u64()?;
+        self.skipped_cycles = r.get_u64()?;
+        for net in self.subnets.iter_mut() {
+            net.load_state(r)?;
+        }
+        for idx in 0..nodes {
+            self.nis[idx] = crate::ni::NodeNi::decode(
+                r,
+                NodeId(idx as u16),
+                k,
+                self.cfg.subnet_width_bits,
+                self.cfg.ni_queue_flits,
+            )?;
+        }
+        if self.generated_packets < self.delivered_packets {
+            return Err(CodecError::Invalid("delivered more packets than generated"));
+        }
+        self.eject_buf.clear();
+        self.congested_buf.clear();
+        Ok(())
     }
 
     /// Finalizes gating accounting and produces the run report.
@@ -676,7 +839,13 @@ impl<S: Sink> MultiNoc<S> {
         let utilization = snap
             .injected_flits_per_subnet
             .iter()
-            .map(|&f| if inj_total == 0 { 0.0 } else { f as f64 / inj_total as f64 })
+            .map(|&f| {
+                if inj_total == 0 {
+                    0.0
+                } else {
+                    f as f64 / inj_total as f64
+                }
+            })
             .collect();
         RunReport {
             name: self.cfg.name.clone(),
@@ -940,8 +1109,11 @@ mod tests {
         let rep = net.finish();
         assert_eq!(rep.packets_delivered, 1);
         // 14 hops * 3 cycles + serialization (4 flits) + NI overheads.
-        assert!(rep.avg_packet_latency >= 45.0 && rep.avg_packet_latency < 70.0,
-            "latency {}", rep.avg_packet_latency);
+        assert!(
+            rep.avg_packet_latency >= 45.0 && rep.avg_packet_latency < 70.0,
+            "latency {}",
+            rep.avg_packet_latency
+        );
         assert_eq!(rep.subnet_utilization[0], 1.0, "lone packet rides subnet 0");
     }
 
@@ -1039,7 +1211,10 @@ mod tests {
         skipped.step_until(&mut lk, 4_000);
 
         let stats = skipped.skip_stats();
-        assert!(stats.skipped_cycles > 0, "a 0.001-rate run must have skippable stretches: {stats:?}");
+        assert!(
+            stats.skipped_cycles > 0,
+            "a 0.001-rate run must have skippable stretches: {stats:?}"
+        );
         assert!(stats.quiescent_assessments <= stats.assessments);
         assert_eq!(skipped.cycle(), stepped.cycle());
         assert_eq!(skipped.snapshot(), stepped.snapshot());
@@ -1053,7 +1228,11 @@ mod tests {
         net.set_force_full_step(true);
         let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.001, 512, net.dims(), 5);
         net.step_until(&mut load, 2_000);
-        assert_eq!(net.skip_stats(), SkipStats::default(), "the escape hatch must reach every shortcut");
+        assert_eq!(
+            net.skip_stats(),
+            SkipStats::default(),
+            "the escape hatch must reach every shortcut"
+        );
         assert_eq!(net.cycle(), 2_000);
         // Re-enabling restores skipping.
         net.set_force_full_step(false);
@@ -1065,8 +1244,7 @@ mod tests {
     fn heavier_synthetic_load_uses_more_subnets_than_light() {
         let util = |rate: f64| {
             let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128());
-            let mut load =
-                SyntheticWorkload::new(SyntheticPattern::UniformRandom, rate, 512, net.dims(), 9);
+            let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, rate, 512, net.dims(), 9);
             for _ in 0..4_000 {
                 load.drive(&mut net);
                 net.step();

@@ -18,7 +18,12 @@ pub struct MultiNocPowerReport {
     pub csc_fraction: f64,
 }
 
-catnap_util::impl_to_json_struct!(MultiNocPowerReport { name, dynamic, static_, csc_fraction });
+catnap_util::impl_to_json_struct!(MultiNocPowerReport {
+    name,
+    dynamic,
+    static_,
+    csc_fraction
+});
 
 impl MultiNocPowerReport {
     /// Total network power in watts.
@@ -55,7 +60,11 @@ impl<S: catnap_telemetry::Sink> MultiNoc<S> {
             };
         }
         let router = self.router_power_model(tech);
-        let link_factor = if cfg.subnets > 1 { tech.multi_link_crossover_factor } else { 1.0 };
+        let link_factor = if cfg.subnets > 1 {
+            tech.multi_link_crossover_factor
+        } else {
+            1.0
+        };
         let model = NetworkPowerModel::for_mesh(cfg.dims, router, link_factor);
         let time_s = cycles as f64 / cfg.freq_hz;
 
@@ -85,8 +94,8 @@ impl<S: catnap_telemetry::Sink> MultiNoc<S> {
         // Shared NI: dynamic energy per flit transit (injections plus
         // ejections across all subnets), leakage for a queue sized for the
         // aggregate datapath (16 flits of the aggregate width).
-        let transits: u64 = d.injected_flits_per_subnet.iter().sum::<u64>()
-            + d.ejected_flits_per_subnet.iter().sum::<u64>();
+        let transits: u64 =
+            d.injected_flits_per_subnet.iter().sum::<u64>() + d.ejected_flits_per_subnet.iter().sum::<u64>();
         dynamic.ni = router.ni_energy_j(transits) / time_s;
         let nodes = cfg.dims.num_nodes() as f64;
         let ni_bits = cfg.ni_queue_flits as f64 * cfg.aggregate_width_bits() as f64;

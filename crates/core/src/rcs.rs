@@ -11,6 +11,7 @@
 //! costs 8.7 pJ (paper Section 4.1).
 
 use catnap_noc::{NodeId, RegionId, RegionMap};
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 
 /// The per-subnet OR network aggregating LCS bits into per-region RCS
 /// bits.
@@ -149,6 +150,44 @@ impl OrNetwork {
         } else {
             self.countdown = (cd - dt) as u32;
         }
+    }
+
+    /// Serializes the OR network's mutable state (checkpointing). The
+    /// region partition and period are functions of the configuration
+    /// and are reconstructed by [`OrNetwork::decode`].
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.countdown);
+        for &b in &self.latched {
+            w.put_bool(b);
+        }
+        for &b in &self.rose {
+            w.put_bool(b);
+        }
+        for &b in &self.changed {
+            w.put_bool(b);
+        }
+        w.put_u64(self.switch_events);
+    }
+
+    /// Rebuilds an OR network from [`OrNetwork::encode`] output over the
+    /// given (configuration-derived) region partition and period.
+    pub(crate) fn decode(r: &mut ByteReader<'_>, regions: RegionMap, period: u32) -> Result<Self, CodecError> {
+        let mut or = OrNetwork::new(regions, period);
+        or.countdown = r.get_u32()?;
+        if or.countdown == 0 || or.countdown > period {
+            return Err(CodecError::Invalid("RCS countdown out of phase"));
+        }
+        for b in or.latched.iter_mut() {
+            *b = r.get_bool()?;
+        }
+        for b in or.rose.iter_mut() {
+            *b = r.get_bool()?;
+        }
+        for b in or.changed.iter_mut() {
+            *b = r.get_bool()?;
+        }
+        or.switch_events = r.get_u64()?;
+        Ok(or)
     }
 }
 

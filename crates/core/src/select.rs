@@ -5,6 +5,7 @@
 //! choice determines whether higher-order subnets see the long idle
 //! periods that make power gating profitable.
 
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 use catnap_util::SimRng;
 
 /// Packs a selector's congestion view into a bitmask (bit `s` set iff
@@ -29,6 +30,22 @@ pub trait SubnetSelector {
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serializes the policy's mutable state for checkpointing. The
+    /// default writes nothing — correct for stateless policies; stateful
+    /// ones (counters, RNG streams) must override both this and
+    /// [`SubnetSelector::decode_state`] for resumed runs to be
+    /// bit-identical.
+    fn encode_state(&self, _w: &mut ByteWriter) {}
+
+    /// Restores state written by [`SubnetSelector::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on a truncated or inconsistent stream.
+    fn decode_state(&mut self, _r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        Ok(())
+    }
 }
 
 /// Round-robin across subnets regardless of congestion (the conventional
@@ -57,6 +74,17 @@ impl SubnetSelector for RoundRobin {
     fn name(&self) -> &'static str {
         "round-robin"
     }
+    fn encode_state(&self, w: &mut ByteWriter) {
+        for &c in &self.counters {
+            w.put_usize(c);
+        }
+    }
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        for c in self.counters.iter_mut() {
+            *c = r.get_usize()?;
+        }
+        Ok(())
+    }
 }
 
 /// Uniformly random subnet choice.
@@ -80,6 +108,19 @@ impl SubnetSelector for RandomSelect {
     }
     fn name(&self) -> &'static str {
         "random"
+    }
+    fn encode_state(&self, w: &mut ByteWriter) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+    }
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let mut s = [0u64; 4];
+        for word in s.iter_mut() {
+            *word = r.get_u64()?;
+        }
+        self.rng = SimRng::from_state(s);
+        Ok(())
     }
 }
 
@@ -112,6 +153,17 @@ impl SubnetSelector for CatnapPriority {
     }
     fn name(&self) -> &'static str {
         "catnap-priority"
+    }
+    fn encode_state(&self, w: &mut ByteWriter) {
+        for &c in &self.rr_counters {
+            w.put_usize(c);
+        }
+    }
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        for c in self.rr_counters.iter_mut() {
+            *c = r.get_usize()?;
+        }
+        Ok(())
     }
 }
 

@@ -280,9 +280,7 @@ impl Directory {
 
     /// Invariant check: at most one owner, owner not also a sharer.
     pub fn check_invariants(&self) -> bool {
-        self.entries
-            .values()
-            .all(|e| e.owner.is_none_or(|o| !e.sharers.contains(&o)))
+        self.entries.values().all(|e| e.owner.is_none_or(|o| !e.sharers.contains(&o)))
     }
 }
 
@@ -376,7 +374,10 @@ mod tests {
             AccessOutcome::Hit => panic!("must miss"),
         }
         c.fill(4 * 64, MesiState::Exclusive); // evicts block 1
-        assert!(matches!(c.access(64, false), AccessOutcome::Miss { .. }), "block 1 evicted");
+        assert!(
+            matches!(c.access(64, false), AccessOutcome::Miss { .. }),
+            "block 1 evicted"
+        );
         // Now make everything dirty and check a dirty victim is reported.
         let mut d = SetAssocCache::new(cfg);
         for i in 0..4u64 {
@@ -418,14 +419,25 @@ mod tests {
             }
         }
         assert!(small.miss_rate() < 0.05, "small WS miss rate {}", small.miss_rate());
-        assert!(big.miss_rate() > 5.0 * small.miss_rate(), "big {} vs small {}", big.miss_rate(), small.miss_rate());
+        assert!(
+            big.miss_rate() > 5.0 * small.miss_rate(),
+            "big {} vs small {}",
+            big.miss_rate(),
+            small.miss_rate()
+        );
     }
 
     #[test]
     fn directory_read_sharing() {
         let mut dir = Directory::default();
-        assert_eq!(dir.get_s(0x40, 1, true), DirectoryAction::SendData { from_memory: false });
-        assert_eq!(dir.get_s(0x40, 2, true), DirectoryAction::SendData { from_memory: false });
+        assert_eq!(
+            dir.get_s(0x40, 1, true),
+            DirectoryAction::SendData { from_memory: false }
+        );
+        assert_eq!(
+            dir.get_s(0x40, 2, true),
+            DirectoryAction::SendData { from_memory: false }
+        );
         let e = dir.entry(0x40).unwrap();
         assert!(e.sharers.contains(&1) && e.sharers.contains(&2));
         assert!(dir.check_invariants());

@@ -233,10 +233,7 @@ mod tests {
     fn miss_rate_matches_mpki() {
         let (insts, misses) = run_ideal(core("gcc", 1), 300_000, 20);
         let mpki = misses as f64 * 1000.0 / insts as f64;
-        assert!(
-            (mpki - 8.0).abs() < 1.2,
-            "gcc MPKI {mpki:.1}, expected ~8.0"
-        );
+        assert!((mpki - 8.0).abs() < 1.2, "gcc MPKI {mpki:.1}, expected ~8.0");
     }
 
     #[test]
@@ -263,7 +260,10 @@ mod tests {
         let (mslow, _) = run_ideal(core("mcf", 3), 100_000, 60);
         let sjeng_loss = 1.0 - slow as f64 / fast as f64;
         let mcf_loss = 1.0 - mslow as f64 / mfast as f64;
-        assert!(mcf_loss > 2.0 * sjeng_loss, "mcf loss {mcf_loss:.2} vs sjeng {sjeng_loss:.2}");
+        assert!(
+            mcf_loss > 2.0 * sjeng_loss,
+            "mcf loss {mcf_loss:.2} vs sjeng {sjeng_loss:.2}"
+        );
     }
 
     #[test]

@@ -61,11 +61,7 @@ impl TransactionScript {
 
     /// Total bits moved over the network (self-legs excluded).
     pub fn network_bits(&self) -> u64 {
-        self.legs
-            .iter()
-            .filter(|l| l.from != l.to)
-            .map(|l| u64::from(l.bits))
-            .sum()
+        self.legs.iter().filter(|l| l.from != l.to).map(|l| u64::from(l.bits)).sum()
     }
 }
 

@@ -271,7 +271,9 @@ impl System {
         // Delayed legs whose service time elapsed.
         let due: Vec<(u64, usize)> = {
             let keys: Vec<u64> = self.events.range(..=now).map(|(&k, _)| k).collect();
-            keys.into_iter().flat_map(|k| self.events.remove(&k).expect("key exists")).collect()
+            keys.into_iter()
+                .flat_map(|k| self.events.remove(&k).expect("key exists"))
+                .collect()
         };
         for (tx_id, leg_idx) in due {
             self.start_leg(tx_id, leg_idx, now);
@@ -425,7 +427,12 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let run = |seed| {
-            let mut sys = System::new(SystemConfig::paper(), MultiNocConfig::catnap_4x128(), WorkloadMix::MediumLight, seed);
+            let mut sys = System::new(
+                SystemConfig::paper(),
+                MultiNocConfig::catnap_4x128(),
+                WorkloadMix::MediumLight,
+                seed,
+            );
             sys.run(1_000);
             let r = sys.report();
             (r.total_instructions, r.misses_issued, r.network.packets_generated)

@@ -197,7 +197,11 @@ impl CacheSystem {
                         }
                         DirectoryAction::SendData { .. } => {}
                     }
-                    let state = if is_write { MesiState::Modified } else { MesiState::Shared };
+                    let state = if is_write {
+                        MesiState::Modified
+                    } else {
+                        MesiState::Shared
+                    };
                     self.cores[ci].l1.fill(addr, state);
                     if let Some(victim) = victim_writeback {
                         let victim_home = self.home_of(victim / 64);
@@ -346,11 +350,13 @@ impl CacheSystem {
         } else {
             self.dirs[home.index()].get_s(block, core_idx as u32, l2_hit)
         };
-        let fill_state = if is_write { MesiState::Modified } else { MesiState::Shared };
+        let fill_state = if is_write {
+            MesiState::Modified
+        } else {
+            MesiState::Shared
+        };
         let (script, kind) = match action {
-            DirectoryAction::SendData { from_memory: false } => {
-                (protocol::read_l2_hit(node, home, &self.cfg), 0)
-            }
+            DirectoryAction::SendData { from_memory: false } => (protocol::read_l2_hit(node, home, &self.cfg), 0),
             DirectoryAction::SendData { from_memory: true } => {
                 let mc = self.mc_for(block);
                 (protocol::read_memory(node, home, mc, &self.cfg), 2)
@@ -579,7 +585,11 @@ mod tests {
         let mut s = sys(CacheWorkload::light());
         s.run(3_000);
         let rep = s.report();
-        assert!(rep.l1_miss_rate < 0.08, "cache-resident WS: miss rate {}", rep.l1_miss_rate);
+        assert!(
+            rep.l1_miss_rate < 0.08,
+            "cache-resident WS: miss rate {}",
+            rep.l1_miss_rate
+        );
         assert!(rep.total_instructions > 500_000);
         assert!(s.directories_consistent());
     }

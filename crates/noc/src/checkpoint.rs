@@ -1,0 +1,297 @@
+//! Binary codec helpers for checkpointing network state.
+//!
+//! The per-structure `encode`/`decode` functions live next to the
+//! structures they serialize (Rust privacy is module-scoped), but the
+//! plain-data types with public fields — flits, stats counters, port
+//! tags — are encoded here so the `catnap` core crate can reuse the
+//! exact same byte layout for its own state (NI queues, delivered
+//! tails). See DESIGN.md §13 for the container format and the
+//! capture/reconstruct split.
+
+use crate::flit::{Flit, FlitKind, MessageClass, PacketDescriptor, PacketId};
+use crate::geometry::{NodeId, Port};
+use crate::network::SchedStats;
+use crate::stats::{NetworkStats, RouterActivity};
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
+
+/// Encodes a [`Port`] as its stable index (N=0, E=1, S=2, W=3, L=4).
+pub fn put_port(w: &mut ByteWriter, p: Port) {
+    w.put_u8(p.index() as u8);
+}
+
+/// Decodes a [`Port`] tag.
+///
+/// # Errors
+///
+/// [`CodecError::Invalid`] on a tag outside `0..5`.
+pub fn get_port(r: &mut ByteReader<'_>) -> Result<Port, CodecError> {
+    let tag = r.get_u8()?;
+    if tag as usize >= crate::geometry::NUM_PORTS {
+        return Err(CodecError::Invalid("port tag"));
+    }
+    Ok(Port::from_index(tag as usize))
+}
+
+/// Encodes a [`FlitKind`] tag.
+pub fn put_flit_kind(w: &mut ByteWriter, k: FlitKind) {
+    w.put_u8(match k {
+        FlitKind::Head => 0,
+        FlitKind::Body => 1,
+        FlitKind::Tail => 2,
+        FlitKind::Single => 3,
+    });
+}
+
+/// Decodes a [`FlitKind`] tag.
+///
+/// # Errors
+///
+/// [`CodecError::Invalid`] on an unknown tag.
+pub fn get_flit_kind(r: &mut ByteReader<'_>) -> Result<FlitKind, CodecError> {
+    Ok(match r.get_u8()? {
+        0 => FlitKind::Head,
+        1 => FlitKind::Body,
+        2 => FlitKind::Tail,
+        3 => FlitKind::Single,
+        _ => return Err(CodecError::Invalid("flit kind tag")),
+    })
+}
+
+/// Encodes a [`MessageClass`] tag.
+pub fn put_message_class(w: &mut ByteWriter, c: MessageClass) {
+    w.put_u8(match c {
+        MessageClass::Request => 0,
+        MessageClass::Forward => 1,
+        MessageClass::Response => 2,
+        MessageClass::Synthetic => 3,
+    });
+}
+
+/// Decodes a [`MessageClass`] tag.
+///
+/// # Errors
+///
+/// [`CodecError::Invalid`] on an unknown tag.
+pub fn get_message_class(r: &mut ByteReader<'_>) -> Result<MessageClass, CodecError> {
+    Ok(match r.get_u8()? {
+        0 => MessageClass::Request,
+        1 => MessageClass::Forward,
+        2 => MessageClass::Response,
+        3 => MessageClass::Synthetic,
+        _ => return Err(CodecError::Invalid("message class tag")),
+    })
+}
+
+/// Encodes a [`Flit`] (every field, bit-exact).
+pub fn put_flit(w: &mut ByteWriter, f: &Flit) {
+    w.put_u64(f.packet.0);
+    put_flit_kind(w, f.kind);
+    w.put_u16(f.src.0);
+    w.put_u16(f.dst.0);
+    w.put_u16(f.seq);
+    w.put_u16(f.packet_len);
+    put_message_class(w, f.class);
+    put_port(w, f.lookahead);
+    w.put_u8(f.vc);
+    w.put_u64(f.created_cycle);
+    w.put_u64(f.net_inject_cycle);
+}
+
+/// Decodes a [`Flit`].
+///
+/// # Errors
+///
+/// Propagates reader errors and bad tags.
+pub fn get_flit(r: &mut ByteReader<'_>) -> Result<Flit, CodecError> {
+    Ok(Flit {
+        packet: PacketId(r.get_u64()?),
+        kind: get_flit_kind(r)?,
+        src: NodeId(r.get_u16()?),
+        dst: NodeId(r.get_u16()?),
+        seq: r.get_u16()?,
+        packet_len: r.get_u16()?,
+        class: get_message_class(r)?,
+        lookahead: get_port(r)?,
+        vc: r.get_u8()?,
+        created_cycle: r.get_u64()?,
+        net_inject_cycle: r.get_u64()?,
+    })
+}
+
+/// Encodes a [`PacketDescriptor`].
+pub fn put_packet_descriptor(w: &mut ByteWriter, d: &PacketDescriptor) {
+    w.put_u64(d.id.0);
+    w.put_u16(d.src.0);
+    w.put_u16(d.dst.0);
+    w.put_u32(d.bits);
+    put_message_class(w, d.class);
+    w.put_u64(d.created_cycle);
+}
+
+/// Decodes a [`PacketDescriptor`].
+///
+/// # Errors
+///
+/// Propagates reader errors and bad tags.
+pub fn get_packet_descriptor(r: &mut ByteReader<'_>) -> Result<PacketDescriptor, CodecError> {
+    Ok(PacketDescriptor {
+        id: PacketId(r.get_u64()?),
+        src: NodeId(r.get_u16()?),
+        dst: NodeId(r.get_u16()?),
+        bits: r.get_u32()?,
+        class: get_message_class(r)?,
+        created_cycle: r.get_u64()?,
+    })
+}
+
+/// Encodes [`NetworkStats`].
+pub fn put_network_stats(w: &mut ByteWriter, s: &NetworkStats) {
+    w.put_u64(s.cycles);
+    w.put_u64(s.flits_injected);
+    w.put_u64(s.flits_ejected);
+    w.put_u64(s.packets_ejected);
+    w.put_u64(s.net_latency_sum);
+    w.put_u64(s.net_latency_max);
+    w.put_u64(s.hops_sum);
+}
+
+/// Decodes [`NetworkStats`].
+///
+/// # Errors
+///
+/// Propagates reader errors.
+pub fn get_network_stats(r: &mut ByteReader<'_>) -> Result<NetworkStats, CodecError> {
+    Ok(NetworkStats {
+        cycles: r.get_u64()?,
+        flits_injected: r.get_u64()?,
+        flits_ejected: r.get_u64()?,
+        packets_ejected: r.get_u64()?,
+        net_latency_sum: r.get_u64()?,
+        net_latency_max: r.get_u64()?,
+        hops_sum: r.get_u64()?,
+    })
+}
+
+/// Encodes [`RouterActivity`].
+pub fn put_router_activity(w: &mut ByteWriter, a: &RouterActivity) {
+    w.put_u64(a.buffer_writes);
+    w.put_u64(a.buffer_reads);
+    w.put_u64(a.xbar_traversals);
+    w.put_u64(a.link_flits);
+    w.put_u64(a.ejected_flits);
+    w.put_u64(a.arb_requests);
+    w.put_u64(a.arb_grants);
+    w.put_u64(a.head_blocked_cycles);
+}
+
+/// Decodes [`RouterActivity`].
+///
+/// # Errors
+///
+/// Propagates reader errors.
+pub fn get_router_activity(r: &mut ByteReader<'_>) -> Result<RouterActivity, CodecError> {
+    Ok(RouterActivity {
+        buffer_writes: r.get_u64()?,
+        buffer_reads: r.get_u64()?,
+        xbar_traversals: r.get_u64()?,
+        link_flits: r.get_u64()?,
+        ejected_flits: r.get_u64()?,
+        arb_requests: r.get_u64()?,
+        arb_grants: r.get_u64()?,
+        head_blocked_cycles: r.get_u64()?,
+    })
+}
+
+/// Encodes [`SchedStats`].
+pub fn put_sched_stats(w: &mut ByteWriter, s: &SchedStats) {
+    w.put_u64(s.router_runs);
+    w.put_u64(s.idle_runs);
+    w.put_u64(s.wakeup_pops);
+    w.put_u64(s.stale_wakeups);
+    w.put_u64(s.syncs);
+    w.put_u64(s.synced_cycles);
+    w.put_u64(s.stalled_runs);
+}
+
+/// Decodes [`SchedStats`].
+///
+/// # Errors
+///
+/// Propagates reader errors.
+pub fn get_sched_stats(r: &mut ByteReader<'_>) -> Result<SchedStats, CodecError> {
+    Ok(SchedStats {
+        router_runs: r.get_u64()?,
+        idle_runs: r.get_u64()?,
+        wakeup_pops: r.get_u64()?,
+        stale_wakeups: r.get_u64()?,
+        syncs: r.get_u64()?,
+        synced_cycles: r.get_u64()?,
+        stalled_runs: r.get_u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_round_trips_bit_exact() {
+        let f = Flit {
+            packet: PacketId(0xDEAD_BEEF),
+            kind: FlitKind::Tail,
+            src: NodeId(3),
+            dst: NodeId(60),
+            seq: 3,
+            packet_len: 4,
+            class: MessageClass::Response,
+            lookahead: Port::West,
+            vc: 2,
+            created_cycle: 1234,
+            net_inject_cycle: 1260,
+        };
+        let mut w = ByteWriter::new();
+        put_flit(&mut w, &f);
+        let bytes = w.into_inner();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_flit(&mut r).unwrap(), f);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn enum_tags_cover_all_variants() {
+        for p in Port::ALL {
+            let mut w = ByteWriter::new();
+            put_port(&mut w, p);
+            let bytes = w.into_inner();
+            assert_eq!(get_port(&mut ByteReader::new(&bytes)).unwrap(), p);
+        }
+        for c in MessageClass::ALL {
+            let mut w = ByteWriter::new();
+            put_message_class(&mut w, c);
+            let bytes = w.into_inner();
+            assert_eq!(get_message_class(&mut ByteReader::new(&bytes)).unwrap(), c);
+        }
+        for k in [FlitKind::Head, FlitKind::Body, FlitKind::Tail, FlitKind::Single] {
+            let mut w = ByteWriter::new();
+            put_flit_kind(&mut w, k);
+            let bytes = w.into_inner();
+            assert_eq!(get_flit_kind(&mut ByteReader::new(&bytes)).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert_eq!(
+            get_port(&mut ByteReader::new(&[5])),
+            Err(CodecError::Invalid("port tag"))
+        );
+        assert_eq!(
+            get_flit_kind(&mut ByteReader::new(&[9])),
+            Err(CodecError::Invalid("flit kind tag"))
+        );
+        assert_eq!(
+            get_message_class(&mut ByteReader::new(&[4])),
+            Err(CodecError::Invalid("message class tag"))
+        );
+    }
+}

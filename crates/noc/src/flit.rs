@@ -261,7 +261,10 @@ mod tests {
             created_cycle: 0,
         };
         let kinds: Vec<FlitKind> = (0..4).map(|s| d.flit(s, 128, Port::East, 0).kind).collect();
-        assert_eq!(kinds, vec![FlitKind::Head, FlitKind::Body, FlitKind::Body, FlitKind::Tail]);
+        assert_eq!(
+            kinds,
+            vec![FlitKind::Head, FlitKind::Body, FlitKind::Body, FlitKind::Tail]
+        );
     }
 
     #[test]

@@ -49,12 +49,7 @@ pub enum Direction {
 
 impl Direction {
     /// All four directions in port order.
-    pub const ALL: [Direction; 4] = [
-        Direction::North,
-        Direction::East,
-        Direction::South,
-        Direction::West,
-    ];
+    pub const ALL: [Direction; 4] = [Direction::North, Direction::East, Direction::South, Direction::West];
 
     /// The opposite direction (the port a neighbour uses to receive from us).
     pub fn opposite(self) -> Direction {
@@ -329,9 +324,7 @@ impl RegionMap {
 
     /// Iterator over the nodes belonging to `region`.
     pub fn nodes_in(&self, region: RegionId) -> impl Iterator<Item = NodeId> + '_ {
-        self.dims
-            .nodes()
-            .filter(move |&n| self.region_of(n) == region)
+        self.dims.nodes().filter(move |&n| self.region_of(n) == region)
     }
 
     /// The mesh dimensions this map partitions.
@@ -481,7 +474,10 @@ mod tests {
     fn hop_distance_symmetric() {
         let m = mesh8();
         for &(a, b) in &[(0u16, 63u16), (10, 53), (8, 8)] {
-            assert_eq!(m.hop_distance(NodeId(a), NodeId(b)), m.hop_distance(NodeId(b), NodeId(a)));
+            assert_eq!(
+                m.hop_distance(NodeId(a), NodeId(b)),
+                m.hop_distance(NodeId(b), NodeId(a))
+            );
         }
     }
 }

@@ -51,6 +51,7 @@
 //! assert_eq!(net.stats().flits_ejected, 1);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod flit;
 pub mod geometry;

@@ -2,6 +2,7 @@
 //! one-cycle links, with staged (two-phase) transfer so simulation results
 //! are independent of router iteration order.
 
+use crate::checkpoint;
 use crate::config::NetworkConfig;
 use crate::flit::{Flit, FlitKind, MessageClass, PacketId};
 use crate::geometry::{MeshDims, NodeId, Port, NUM_PORTS};
@@ -9,6 +10,7 @@ use crate::power_state::{PowerState, WakeReason};
 use crate::router::{Router, RouterOutput};
 use crate::stats::{GatingActivity, NetworkStats, RouterActivity};
 use catnap_telemetry::{Event, NopSink, PowerPhase, Sink};
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -246,7 +248,11 @@ impl<S: Sink> Network<S> {
             sched: SchedStats::default(),
             active_mask,
             sink,
-            power_shadow: if S::ENABLED { vec![PowerPhase::Active; n] } else { Vec::new() },
+            power_shadow: if S::ENABLED {
+                vec![PowerPhase::Active; n]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -838,10 +844,7 @@ impl<S: Sink> Network<S> {
             self.routers[idx].step(&neighbor_active, &mut out);
             self.cursor[idx] = cycle;
             self.active_mask[idx] = self.routers[idx].port_active_mask();
-            if out.outbound.is_empty()
-                && out.credits.is_empty()
-                && out.ejected.is_empty()
-                && out.wake_pings.is_empty()
+            if out.outbound.is_empty() && out.credits.is_empty() && out.ejected.is_empty() && out.wake_pings.is_empty()
             {
                 self.sched.stalled_runs += 1;
             }
@@ -1008,13 +1011,7 @@ impl<S: Sink> Network<S> {
     /// - otherwise the target ticks later in this same cycle: the
     ///   request lands with the target at the cycle edge, and the target
     ///   joins the current run set so its tick happens in phase 2.
-    fn wake_neighbor_instep(
-        &mut self,
-        node: NodeId,
-        dir_port: Port,
-        pos: usize,
-        todo: &mut BinaryHeap<Reverse<u32>>,
-    ) {
+    fn wake_neighbor_instep(&mut self, node: NodeId, dir_port: Port, pos: usize, todo: &mut BinaryHeap<Reverse<u32>>) {
         if let Some(dir) = dir_port.direction() {
             if let Some(nbr) = self.cfg.dims.neighbor(node, dir) {
                 let idx = nbr.index();
@@ -1210,6 +1207,160 @@ impl<S: Sink> Network<S> {
         }
     }
 
+    /// Serializes the subnet's complete simulation state (checkpointing).
+    ///
+    /// Must be called at a cycle edge (between steps). Deferred idle
+    /// stretches are materialized first so every router's counters are
+    /// exact; materialization is representation-only, so saving does not
+    /// perturb the run. What is captured: clock, packet-id counter,
+    /// statistics, every router, and all link/staging/ejection buffers.
+    /// What is *not* captured and instead reconstructed by
+    /// [`Network::load_state`]: the adjacency/route tables (functions of
+    /// the config), the in-flight counters (recounted from staging), the
+    /// event-scheduler queues (reseeded from live state), and the
+    /// telemetry sink (a resumed recording sink starts empty — the trace
+    /// *suffix* after the checkpoint is bit-identical, which is what the
+    /// checkpoint suite asserts). Scheduler effectiveness counters are
+    /// carried over verbatim, but a resumed run may count slightly fewer
+    /// stale wakeup entries than a straight-through run (reseeding drops
+    /// entries lazy invalidation would have counted); simulation results
+    /// are unaffected.
+    pub fn save_state(&mut self, w: &mut ByteWriter) {
+        self.sync_all();
+        w.put_u64(self.cycle);
+        w.put_u64(self.next_packet_id);
+        w.put_bool(self.force_full_step);
+        checkpoint::put_network_stats(w, &self.stats);
+        checkpoint::put_sched_stats(w, &self.sched);
+        for r in &self.routers {
+            r.encode(w);
+        }
+        w.put_usize(self.link_stage.len());
+        for (idx, port, flit) in &self.link_stage {
+            w.put_u32(*idx as u32);
+            checkpoint::put_port(w, *port);
+            checkpoint::put_flit(w, flit);
+        }
+        w.put_usize(self.staged_flits.len());
+        for (idx, port, flit) in &self.staged_flits {
+            w.put_u32(*idx as u32);
+            checkpoint::put_port(w, *port);
+            checkpoint::put_flit(w, flit);
+        }
+        w.put_usize(self.staged_credits.len());
+        for (idx, port, vc) in &self.staged_credits {
+            w.put_u32(*idx as u32);
+            checkpoint::put_port(w, *port);
+            w.put_u8(*vc);
+        }
+        w.put_usize(self.ejected.len());
+        for (node, flit) in &self.ejected {
+            w.put_u16(node.0);
+            checkpoint::put_flit(w, flit);
+        }
+    }
+
+    /// Overlays serialized state from [`Network::save_state`] onto this
+    /// network, which must have been built from the *same configuration*
+    /// (the config itself is not in the byte stream; the core crate's
+    /// checkpoint container guards it with a fingerprint). Derived
+    /// structures — in-flight counters, occupancy caches, the event
+    /// scheduler's queues and censuses, telemetry shadows — are all
+    /// recomputed from the decoded state.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the stream is truncated or internally
+    /// inconsistent (bad tags, router/index out of range). On error the
+    /// network is left in an unspecified but memory-safe state and must
+    /// be discarded.
+    pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let n = self.routers.len();
+        self.cycle = r.get_u64()?;
+        self.next_packet_id = r.get_u64()?;
+        self.force_full_step = r.get_bool()?;
+        self.stats = checkpoint::get_network_stats(r)?;
+        self.sched = checkpoint::get_sched_stats(r)?;
+        for idx in 0..n {
+            let router = Router::decode(r)?;
+            if router.node().index() != idx {
+                return Err(CodecError::Invalid("router out of order"));
+            }
+            self.routers[idx] = router;
+        }
+        let decode_staged = |r: &mut ByteReader<'_>| -> Result<Vec<(usize, Port, Flit)>, CodecError> {
+            let len = r.get_usize()?;
+            if len > n * NUM_PORTS * 64 {
+                return Err(CodecError::Invalid("staging buffer implausibly large"));
+            }
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                let idx = r.get_u32()? as usize;
+                if idx >= n {
+                    return Err(CodecError::Invalid("staged router index out of range"));
+                }
+                let port = checkpoint::get_port(r)?;
+                let flit = checkpoint::get_flit(r)?;
+                out.push((idx, port, flit));
+            }
+            Ok(out)
+        };
+        self.link_stage = decode_staged(r)?;
+        self.staged_flits = decode_staged(r)?;
+        let credits_len = r.get_usize()?;
+        if credits_len > n * NUM_PORTS * 64 {
+            return Err(CodecError::Invalid("credit staging implausibly large"));
+        }
+        self.staged_credits.clear();
+        for _ in 0..credits_len {
+            let idx = r.get_u32()? as usize;
+            if idx >= n {
+                return Err(CodecError::Invalid("staged credit index out of range"));
+            }
+            let port = checkpoint::get_port(r)?;
+            let vc = r.get_u8()?;
+            self.staged_credits.push((idx, port, vc));
+        }
+        let ejected_len = r.get_usize()?;
+        if ejected_len > n * 64 {
+            return Err(CodecError::Invalid("ejection buffer implausibly large"));
+        }
+        self.ejected.clear();
+        for _ in 0..ejected_len {
+            let node = NodeId(r.get_u16()?);
+            if node.index() >= n {
+                return Err(CodecError::Invalid("ejected node out of range"));
+            }
+            let flit = checkpoint::get_flit(r)?;
+            self.ejected.push((node, flit));
+        }
+
+        // Everything below is derived: recomputed, never deserialized.
+        self.scratch = RouterOutput::default();
+        self.inflight = vec![0; n * NUM_PORTS];
+        for &(idx, port, _) in self.link_stage.iter().chain(&self.staged_flits) {
+            self.inflight[idx * NUM_PORTS + port.index()] += 1;
+        }
+        let cycle = self.cycle;
+        self.cursor = vec![cycle; n];
+        self.hot_stamp = vec![0; n];
+        self.next_hot.clear();
+        self.todo.clear();
+        self.wakeups.clear();
+        for idx in 0..n {
+            self.active_mask[idx] = self.routers[idx].port_active_mask();
+        }
+        self.sleepers = self.routers.iter().filter(|r| r.power_state().is_sleeping()).count();
+        self.nondrained = 0;
+        if S::ENABLED {
+            self.power_shadow = self.routers.iter().map(|r| PowerPhase::from(r.power_state())).collect();
+        }
+        if !self.force_full_step {
+            self.reseed_scheduler();
+        }
+        Ok(())
+    }
+
     /// Convenience for tests and examples: builds a single-flit synthetic
     /// packet from `src` to `dst` with the correct look-ahead field, ready
     /// for [`Network::try_inject_flit`].
@@ -1239,9 +1390,7 @@ mod tests {
     use crate::geometry::MeshDims;
 
     fn small_net(gating: bool) -> Network {
-        let cfg = NetworkConfig::with_width(128)
-            .dims(MeshDims::new(4, 4))
-            .gating_enabled(gating);
+        let cfg = NetworkConfig::with_width(128).dims(MeshDims::new(4, 4)).gating_enabled(gating);
         Network::new(cfg)
     }
 
@@ -1335,7 +1484,11 @@ mod tests {
             net.step();
             got.extend(net.drain_ejected());
         }
-        assert_eq!(got.len(), 1, "packet must be delivered through sleeping routers via wake-ups");
+        assert_eq!(
+            got.len(),
+            1,
+            "packet must be delivered through sleeping routers via wake-ups"
+        );
         // Latency includes wake-up stalls.
         assert!(net.stats().avg_net_latency() > 20.0);
     }
@@ -1403,6 +1556,69 @@ mod tests {
     }
 
     #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let mut net = small_net(true);
+        let dims = net.dims();
+        // Build up non-trivial state: multi-hop traffic in flight plus
+        // some gated routers.
+        for round in 0..6u16 {
+            for node in dims.nodes() {
+                let dst = NodeId((node.index() as u16 * 5 + 2 + round) % 16);
+                if dst == node {
+                    continue;
+                }
+                let f = net.make_single_flit_packet(node, dst, 0);
+                net.try_inject_flit(node, round as usize % 4, f);
+            }
+            net.step();
+        }
+        for _ in 0..30 {
+            net.step();
+        }
+        for node in dims.nodes() {
+            net.request_sleep(node);
+        }
+        net.step();
+
+        let mut w = ByteWriter::new();
+        net.save_state(&mut w);
+        let bytes = w.into_inner();
+        let mut resumed = small_net(true);
+        let mut r = ByteReader::new(&bytes);
+        resumed.load_state(&mut r).unwrap();
+        assert!(r.is_empty(), "trailing bytes after load");
+
+        // Drive both for a while, with fresh traffic, and compare.
+        for round in 0..40u16 {
+            for net in [&mut net, &mut resumed] {
+                if round % 3 == 0 {
+                    let src = NodeId(round % 16);
+                    let dst = NodeId((round * 7 + 1) % 16);
+                    if src != dst {
+                        let cycle = net.cycle();
+                        let f = net.make_single_flit_packet(src, dst, cycle);
+                        if !net.try_inject_flit(src, 0, f) {
+                            net.request_wake(src, WakeReason::NiInjection);
+                        }
+                    }
+                }
+                net.step();
+            }
+            assert_eq!(net.drain_ejected(), resumed.drain_ejected(), "ejections diverged");
+        }
+        assert_eq!(net.stats(), resumed.stats());
+        net.materialize();
+        resumed.materialize();
+        for node in dims.nodes() {
+            assert_eq!(
+                net.router(node).power_fingerprint(),
+                resumed.router(node).power_fingerprint(),
+                "power state diverged at {node}"
+            );
+        }
+    }
+
+    #[test]
     fn census_and_conservation() {
         let mut net = small_net(false);
         let (a, s, w) = net.power_state_census();
@@ -1414,10 +1630,7 @@ mod tests {
         net.step();
         net.step();
         let in_net = net.flits_in_network() as u64;
-        assert_eq!(
-            net.stats().flits_injected,
-            net.stats().flits_ejected + in_net
-        );
+        assert_eq!(net.stats().flits_injected, net.stats().flits_ejected + in_net);
     }
 }
 

@@ -14,6 +14,7 @@
 //! `t_breakeven` cycles of leakage-equivalent energy for switching the sleep
 //! transistor and recharging decoupling capacitance.
 
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 
 /// Power state of a router.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -248,6 +249,59 @@ impl PowerStateMachine {
             self.sleep_started = cycle;
         }
     }
+
+    /// Serializes the full machine state (checkpointing).
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        match self.state {
+            PowerState::Active => w.put_u8(0),
+            PowerState::Sleep => w.put_u8(1),
+            PowerState::WakeUp { remaining } => {
+                w.put_u8(2);
+                w.put_u32(remaining);
+            }
+        }
+        w.put_u32(self.t_wakeup);
+        w.put_u32(self.t_breakeven);
+        w.put_u64(self.sleep_started);
+        w.put_u64(self.sleep_cycles);
+        w.put_u64(self.wakeup_cycles);
+        w.put_u64(self.active_cycles);
+        w.put_u64(self.sleep_transitions);
+        w.put_u64(self.compensated_sleep_cycles);
+        w.put_u64(self.raw_sleep_period_cycles);
+        for n in self.wake_reasons {
+            w.put_u64(n);
+        }
+    }
+
+    /// Rebuilds a machine serialized by [`PowerStateMachine::encode`].
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let state = match r.get_u8()? {
+            0 => PowerState::Active,
+            1 => PowerState::Sleep,
+            2 => {
+                let remaining = r.get_u32()?;
+                if remaining == 0 {
+                    return Err(CodecError::Invalid("zero wake-up countdown"));
+                }
+                PowerState::WakeUp { remaining }
+            }
+            _ => return Err(CodecError::Invalid("power state tag")),
+        };
+        let mut m = PowerStateMachine::new(r.get_u32()?, r.get_u32()?);
+        m.state = state;
+        m.sleep_started = r.get_u64()?;
+        m.sleep_cycles = r.get_u64()?;
+        m.wakeup_cycles = r.get_u64()?;
+        m.active_cycles = r.get_u64()?;
+        m.sleep_transitions = r.get_u64()?;
+        m.compensated_sleep_cycles = r.get_u64()?;
+        m.raw_sleep_period_cycles = r.get_u64()?;
+        for slot in m.wake_reasons.iter_mut() {
+            *slot = r.get_u64()?;
+        }
+        Ok(m)
+    }
 }
 
 /// Every observable field of a [`PowerStateMachine`], used by the
@@ -387,7 +441,11 @@ mod tests {
                 ticked.tick();
             }
             skipped.fast_forward(dt);
-            assert_eq!(skipped.residency_snapshot(), ticked.residency_snapshot(), "setup {setup}");
+            assert_eq!(
+                skipped.residency_snapshot(),
+                ticked.residency_snapshot(),
+                "setup {setup}"
+            );
         }
     }
 

@@ -94,6 +94,16 @@ impl QuiescenceTracker {
     pub fn quiescent_hits(&self) -> u64 {
         self.quiescent_hits
     }
+
+    /// Rebuilds a tracker from counters saved via
+    /// [`QuiescenceTracker::assessments`] and
+    /// [`QuiescenceTracker::quiescent_hits`] (checkpoint resume).
+    pub fn from_counters(assessments: u64, quiescent_hits: u64) -> Self {
+        QuiescenceTracker {
+            assessments,
+            quiescent_hits,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +117,11 @@ mod tests {
         let cfg = NetworkConfig::with_width(128).dims(MeshDims::new(4, 4)).gating_enabled(true);
         let mut net = Network::new(cfg);
         let mut tracker = QuiescenceTracker::new();
-        assert_eq!(tracker.assess(&net, true), Quiescence::QuietFor(4), "fresh net: quiet until idle detect");
+        assert_eq!(
+            tracker.assess(&net, true),
+            Quiescence::QuietFor(4),
+            "fresh net: quiet until idle detect"
+        );
         let f = net.make_single_flit_packet(NodeId(0), NodeId(15), 0);
         assert!(net.try_inject_flit(NodeId(0), 0, f));
         assert_eq!(tracker.assess(&net, true), Quiescence::Busy);
@@ -117,8 +131,16 @@ mod tests {
             net.drain_ejected();
         }
         // Delivered and drained: quiet again, with matured idle counters.
-        assert_eq!(tracker.assess(&net, true), Quiescence::QuietFor(0), "gate-ripe routers bound the skip to 0");
-        assert_eq!(tracker.assess(&net, false), Quiescence::QuietFor(u64::MAX), "ungated subnets are unbounded");
+        assert_eq!(
+            tracker.assess(&net, true),
+            Quiescence::QuietFor(0),
+            "gate-ripe routers bound the skip to 0"
+        );
+        assert_eq!(
+            tracker.assess(&net, false),
+            Quiescence::QuietFor(u64::MAX),
+            "ungated subnets are unbounded"
+        );
         assert_eq!(tracker.assessments(), 5);
         assert_eq!(tracker.quiescent_hits(), 3);
     }

@@ -18,11 +18,13 @@
 //! Credit-based flow control: one credit per downstream buffer slot,
 //! returned when the downstream router dequeues a flit.
 
+use crate::checkpoint;
 use crate::flit::Flit;
 use crate::geometry::{NodeId, Port, NUM_PORTS};
 use crate::power_state::{PowerState, PowerStateMachine, ResidencySnapshot, WakeReason};
 use crate::stats::{GatingActivity, RouterActivity};
 use crate::vc::{Binding, InputVc};
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 
 /// Snapshot of all router state `idle_tick` can touch; two routers that
 /// compare equal here are indistinguishable to the gating layer. Used
@@ -898,10 +900,7 @@ impl Router {
                     // The credit is for the buffer slot freed at the
                     // *arrival* VC, not the downstream VC just written
                     // into the flit.
-                    out.credits.push(CreditReturn {
-                        in_port,
-                        vc: vc as u8,
-                    });
+                    out.credits.push(CreditReturn { in_port, vc: vc as u8 });
                 }
                 self.xbar_reg.push((flit, binding.out_port));
             }
@@ -1047,10 +1046,7 @@ impl Router {
             if in_port != Port::Local {
                 // The credit is for the buffer slot freed at the *arrival*
                 // VC, not the downstream VC just written into the flit.
-                out.credits.push(CreditReturn {
-                    in_port,
-                    vc: vc as u8,
-                });
+                out.credits.push(CreditReturn { in_port, vc: vc as u8 });
             }
             self.xbar_reg.push((flit, binding.out_port));
         }
@@ -1137,6 +1133,170 @@ impl Router {
         if let Some(psms) = &mut self.port_psm {
             for p in psms {
                 p.finalize(cycle);
+            }
+        }
+    }
+
+    /// Serializes the full router state (checkpointing). The redundant
+    /// occupancy and mask caches (`buffered`, `port_occ`, `vc_nonempty`,
+    /// `vc_bound`, `bind_cache`) are *not* captured — they are pure
+    /// functions of the input rings and [`Router::decode`] recomputes
+    /// them, so a checkpoint cannot carry a desynchronized cache.
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.put_u16(self.node.0);
+        w.put_usize(self.vcs);
+        w.put_usize(self.vc_depth);
+        for c in self.connected {
+            w.put_bool(c);
+        }
+        for vc in &self.inputs {
+            vc.encode(w);
+        }
+        for m in self.out_owned {
+            w.put_u64(m);
+        }
+        for &c in &self.credits {
+            w.put_u16(c);
+        }
+        w.put_usize(self.xbar_reg.len());
+        for (flit, port) in &self.xbar_reg {
+            checkpoint::put_flit(w, flit);
+            checkpoint::put_port(w, *port);
+        }
+        for rr in self.in_rr {
+            w.put_usize(rr);
+        }
+        for rr in self.out_rr {
+            w.put_usize(rr);
+        }
+        for rr in self.vc_rr {
+            w.put_usize(rr);
+        }
+        self.psm.encode(w);
+        w.put_u32(self.idle_cycles);
+        w.put_u32(self.t_idle_detect);
+        w.put_u32(self.t_wakeup);
+        w.put_u32(self.t_breakeven);
+        match &self.port_psm {
+            None => w.put_bool(false),
+            Some(psms) => {
+                w.put_bool(true);
+                for p in psms {
+                    p.encode(w);
+                }
+            }
+        }
+        for pi in self.port_idle {
+            w.put_u32(pi);
+        }
+        checkpoint::put_router_activity(w, &self.activity);
+    }
+
+    /// Rebuilds a router serialized by [`Router::encode`], recomputing
+    /// the derived occupancy caches from the decoded input rings.
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let node = NodeId(r.get_u16()?);
+        let vcs = r.get_usize()?;
+        if vcs == 0 || vcs > 64 {
+            return Err(CodecError::Invalid("router vcs out of range"));
+        }
+        let vc_depth = r.get_usize()?;
+        if vc_depth == 0 || vc_depth > crate::vc::MAX_VC_DEPTH {
+            return Err(CodecError::Invalid("router vc_depth out of range"));
+        }
+        let mut connected = [false; NUM_PORTS];
+        for c in connected.iter_mut() {
+            *c = r.get_bool()?;
+        }
+        if !connected[Port::Local.index()] {
+            return Err(CodecError::Invalid("local port disconnected"));
+        }
+        // Gating timings land below (after the PSM); zeros are placeholders.
+        let mut router = Router::new(node, vcs, vc_depth, connected, 0, 0, 0);
+        for slot in router.inputs.iter_mut() {
+            let vc = InputVc::decode(r)?;
+            if vc.depth() != vc_depth {
+                return Err(CodecError::Invalid("VC depth mismatch"));
+            }
+            *slot = vc;
+        }
+        for m in router.out_owned.iter_mut() {
+            *m = r.get_u64()?;
+        }
+        for c in router.credits.iter_mut() {
+            let credit = r.get_u16()?;
+            if credit as usize > vc_depth {
+                return Err(CodecError::Invalid("credit exceeds VC depth"));
+            }
+            *c = credit;
+        }
+        let xbar_len = r.get_usize()?;
+        if xbar_len > NUM_PORTS {
+            return Err(CodecError::Invalid("crossbar register overfull"));
+        }
+        router.xbar_reg.clear();
+        for _ in 0..xbar_len {
+            let flit = checkpoint::get_flit(r)?;
+            let port = checkpoint::get_port(r)?;
+            router.xbar_reg.push((flit, port));
+        }
+        for rr in router.in_rr.iter_mut() {
+            *rr = r.get_usize()?;
+            if *rr >= vcs {
+                return Err(CodecError::Invalid("input round-robin pointer out of range"));
+            }
+        }
+        for rr in router.out_rr.iter_mut() {
+            *rr = r.get_usize()?;
+            if *rr >= NUM_PORTS {
+                return Err(CodecError::Invalid("output round-robin pointer out of range"));
+            }
+        }
+        for rr in router.vc_rr.iter_mut() {
+            *rr = r.get_usize()?;
+            if *rr >= vcs {
+                return Err(CodecError::Invalid("VC round-robin pointer out of range"));
+            }
+        }
+        router.psm = PowerStateMachine::decode(r)?;
+        router.idle_cycles = r.get_u32()?;
+        router.t_idle_detect = r.get_u32()?;
+        router.t_wakeup = r.get_u32()?;
+        router.t_breakeven = r.get_u32()?;
+        if r.get_bool()? {
+            let mut psms = Vec::with_capacity(NUM_PORTS);
+            for _ in 0..NUM_PORTS {
+                psms.push(PowerStateMachine::decode(r)?);
+            }
+            router.port_psm = Some(psms);
+        }
+        for pi in router.port_idle.iter_mut() {
+            *pi = r.get_u32()?;
+        }
+        router.activity = checkpoint::get_router_activity(r)?;
+        router.rebuild_caches();
+        Ok(router)
+    }
+
+    /// Recomputes every derived cache from the input rings (decode path).
+    fn rebuild_caches(&mut self) {
+        self.buffered = 0;
+        self.port_occ = [0; NUM_PORTS];
+        self.vc_nonempty = [0; NUM_PORTS];
+        self.vc_bound = [0; NUM_PORTS];
+        for pi in 0..NUM_PORTS {
+            for vc in 0..self.vcs {
+                let slot = &self.inputs[pi * self.vcs + vc];
+                let n = slot.len() as u32;
+                self.buffered += n;
+                self.port_occ[pi] += n;
+                if n > 0 {
+                    self.vc_nonempty[pi] |= 1u64 << vc;
+                }
+                if let Some(b) = slot.binding() {
+                    self.vc_bound[pi] |= 1u64 << vc;
+                    self.bind_cache[pi * self.vcs + vc] = b;
+                }
             }
         }
     }

@@ -5,7 +5,6 @@
 //! crossbar traversals, link flits and arbitration activity. The counters
 //! are pure data so the power model stays decoupled from the simulator.
 
-
 /// Per-router event counters accumulated over a simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RouterActivity {

@@ -1,7 +1,9 @@
 //! Virtual-channel input buffers and wormhole bindings.
 
+use crate::checkpoint;
 use crate::flit::Flit;
 use crate::geometry::Port;
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 
 /// Largest supported VC buffer depth, in flits. VC buffers store their
 /// flits inline (no heap allocation per VC), so the compile-time
@@ -136,6 +138,53 @@ impl InputVc {
     /// Panics if no binding is held.
     pub fn unbind(&mut self) -> Binding {
         self.binding.take().expect("no wormhole binding to release")
+    }
+
+    /// Serializes this VC buffer: depth, the live flits in FIFO order,
+    /// the wormhole binding, and the blocked-cycle counter. The ring's
+    /// physical head position is *not* captured — it is not observable
+    /// (decode re-packs the flits from slot 0), so checkpoints taken at
+    /// different ring phases of identical logical state are identical.
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(self.depth);
+        w.put_u8(self.len);
+        for i in 0..self.len as usize {
+            let slot = (self.head as usize + i) % MAX_VC_DEPTH;
+            checkpoint::put_flit(w, &self.slots[slot]);
+        }
+        match self.binding {
+            None => w.put_bool(false),
+            Some(b) => {
+                w.put_bool(true);
+                checkpoint::put_port(w, b.out_port);
+                w.put_u8(b.out_vc);
+            }
+        }
+        w.put_u64(self.head_blocked_cycles);
+    }
+
+    /// Rebuilds a VC buffer serialized by [`InputVc::encode`].
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let depth = r.get_u8()? as usize;
+        if depth == 0 || depth > MAX_VC_DEPTH {
+            return Err(CodecError::Invalid("VC depth out of range"));
+        }
+        let len = r.get_u8()? as usize;
+        if len > depth {
+            return Err(CodecError::Invalid("VC occupancy exceeds depth"));
+        }
+        let mut vc = InputVc::new(depth);
+        for _ in 0..len {
+            vc.push(checkpoint::get_flit(r)?);
+        }
+        if r.get_bool()? {
+            vc.binding = Some(Binding {
+                out_port: checkpoint::get_port(r)?,
+                out_vc: r.get_u8()?,
+            });
+        }
+        vc.head_blocked_cycles = r.get_u64()?;
+        Ok(vc)
     }
 }
 

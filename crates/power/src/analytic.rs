@@ -102,7 +102,11 @@ impl DesignPoint {
     pub fn power_at_load(&self, tech: TechParams, load: f64) -> (PowerBreakdown, PowerBreakdown) {
         assert!((0.0..=1.0).contains(&load), "load factor must be in [0, 1]");
         let router = self.router_model(tech);
-        let link_factor = if self.subnets > 1 { tech.multi_link_crossover_factor } else { 1.0 };
+        let link_factor = if self.subnets > 1 {
+            tech.multi_link_crossover_factor
+        } else {
+            1.0
+        };
         let nets = NetworkPowerModel::for_mesh(self.dims, router, link_factor);
         let routers = nets.num_routers as f64;
         let links = nets.num_links as f64;
@@ -120,9 +124,7 @@ impl DesignPoint {
         let mut dynamic = PowerBreakdown {
             buffer: buf_rate * (tech.buf_write_pj_per_bit + tech.buf_read_pj_per_bit) * w * scale * pj,
             crossbar: xbar_rate * tech.xbar_pj_per_bit2 * w * w * scale * pj,
-            control: (routers * hz * tech.control_pj_per_cycle + xbar_rate * tech.arb_pj_per_grant)
-                * scale
-                * pj,
+            control: (routers * hz * tech.control_pj_per_cycle + xbar_rate * tech.arb_pj_per_grant) * scale * pj,
             clock: routers * hz * tech.clock_pj_per_width_bit_cycle * w * scale * pj,
             link: link_rate * tech.link_pj_per_bit * w * scale * pj * link_factor,
             ni: 0.0,

@@ -57,7 +57,14 @@ impl PowerBreakdown {
     }
 }
 
-impl_to_json_struct!(PowerBreakdown { buffer, crossbar, control, clock, link, ni });
+impl_to_json_struct!(PowerBreakdown {
+    buffer,
+    crossbar,
+    control,
+    clock,
+    link,
+    ni
+});
 
 impl Add for PowerBreakdown {
     type Output = PowerBreakdown;

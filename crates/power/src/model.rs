@@ -61,8 +61,7 @@ impl RouterPowerModel {
         let scale = t.dynamic_scale(self.vdd) * PJ;
         let w = self.width_bits as f64;
         PowerBreakdown {
-            buffer: (a.buffer_writes as f64 * t.buf_write_pj_per_bit
-                + a.buffer_reads as f64 * t.buf_read_pj_per_bit)
+            buffer: (a.buffer_writes as f64 * t.buf_write_pj_per_bit + a.buffer_reads as f64 * t.buf_read_pj_per_bit)
                 * w
                 * scale,
             crossbar: a.xbar_traversals as f64 * t.xbar_pj_per_bit2 * w * w * scale,
@@ -89,11 +88,7 @@ impl RouterPowerModel {
     /// Network-interface energy (joules) for the given number of flit
     /// transits (injections plus ejections) through an NI of this width.
     pub fn ni_energy_j(&self, flit_transits: u64) -> f64 {
-        flit_transits as f64
-            * self.tech.ni_pj_per_bit
-            * self.width_bits as f64
-            * self.tech.dynamic_scale(self.vdd)
-            * PJ
+        flit_transits as f64 * self.tech.ni_pj_per_bit * self.width_bits as f64 * self.tech.dynamic_scale(self.vdd) * PJ
     }
 }
 
@@ -237,8 +232,7 @@ impl NetworkPowerModel {
         energy += self.router.per_cycle_energy_j(self.num_routers as u64 * cycles);
         let dynamic = energy * (1.0 / time_s);
 
-        let total_units =
-            (gating.active_cycles + gating.sleep_cycles + gating.wakeup_cycles).max(1) as f64;
+        let total_units = (gating.active_cycles + gating.sleep_cycles + gating.wakeup_cycles).max(1) as f64;
         let powered = gating.active_cycles as f64
             + gating.wakeup_cycles as f64
             + gating.sleep_transitions as f64 * t_breakeven as f64;

@@ -8,7 +8,6 @@
 //! even though the Multi-NoC runs at 0.625 V); an exponent is provided for
 //! sensitivity studies.
 
-
 /// Energy and leakage coefficients for the power model.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TechParams {

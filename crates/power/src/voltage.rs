@@ -14,7 +14,6 @@
 //! with `Vt = 0.38 V`, `alpha = 1.3`, and `d0, C` fitted so that all four
 //! rows of Table 2 are reproduced.
 
-
 /// One row of the paper's Table 2.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct VoltagePoint {
@@ -28,7 +27,12 @@ pub struct VoltagePoint {
     pub vdd: f64,
 }
 
-catnap_util::impl_to_json_struct!(VoltagePoint { design, width_bits, freq_ghz, vdd });
+catnap_util::impl_to_json_struct!(VoltagePoint {
+    design,
+    width_bits,
+    freq_ghz,
+    vdd
+});
 
 /// Alpha-power-law critical-path delay model.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -38,10 +38,7 @@ fn meta_event(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
     if let Some(tid) = tid {
         fields.push(("tid".to_string(), i(tid)));
     }
-    fields.push((
-        "args".to_string(),
-        Json::obj([("name".to_string(), s(value))]),
-    ));
+    fields.push(("args".to_string(), Json::obj([("name".to_string(), s(value))])));
     Json::Obj(fields)
 }
 
@@ -123,13 +120,7 @@ pub fn chrome_trace(trace: &Trace) -> Json {
                     debug_assert_eq!(cur, from, "power stream out of order");
                     let _ = from;
                     if cycle > since {
-                        events.push(complete_event(
-                            cur.label(),
-                            pid,
-                            u64::from(node),
-                            since,
-                            cycle - since,
-                        ));
+                        events.push(complete_event(cur.label(), pid, u64::from(node), since, cycle - since));
                     }
                     phase[node as usize] = (to, cycle);
                 }
@@ -161,7 +152,12 @@ pub fn chrome_trace(trace: &Trace) -> Json {
     // Policy stream: selection decisions, packet lifecycle, Rcs flips.
     for ev in &trace.policy {
         match *ev {
-            Event::Select { cycle, node, subnet, congested_mask } => {
+            Event::Select {
+                cycle,
+                node,
+                subnet,
+                congested_mask,
+            } => {
                 events.push(instant_event(
                     &format!("select s{subnet}"),
                     policy_pid,
@@ -173,19 +169,28 @@ pub fn chrome_trace(trace: &Trace) -> Json {
                     ],
                 ));
             }
-            Event::PacketInject { cycle, id, subnet, src, dst } => {
+            Event::PacketInject {
+                cycle,
+                id,
+                subnet,
+                src,
+                dst,
+            } => {
                 events.push(instant_event(
                     &format!("inject s{subnet}"),
                     policy_pid,
                     u64::from(src),
                     cycle,
-                    vec![
-                        ("id".to_string(), i(id)),
-                        ("dst".to_string(), i(u64::from(dst))),
-                    ],
+                    vec![("id".to_string(), i(id)), ("dst".to_string(), i(u64::from(dst)))],
                 ));
             }
-            Event::PacketEject { cycle, id, subnet, dst, latency } => {
+            Event::PacketEject {
+                cycle,
+                id,
+                subnet,
+                dst,
+                latency,
+            } => {
                 events.push(instant_event(
                     &format!("eject s{subnet}"),
                     policy_pid,
@@ -197,7 +202,12 @@ pub fn chrome_trace(trace: &Trace) -> Json {
                     ],
                 ));
             }
-            Event::Rcs { cycle, subnet, region, on } => {
+            Event::Rcs {
+                cycle,
+                subnet,
+                region,
+                on,
+            } => {
                 events.push(instant_event(
                     &format!("rcs s{subnet} {}", if on { "on" } else { "off" }),
                     policy_pid,
@@ -209,7 +219,12 @@ pub fn chrome_trace(trace: &Trace) -> Json {
                     ],
                 ));
             }
-            Event::Lcs { cycle, subnet, node, on } => {
+            Event::Lcs {
+                cycle,
+                subnet,
+                node,
+                on,
+            } => {
                 // Policy-side Lcs flips (detector layer) land on the
                 // owning subnet's router track.
                 events.push(instant_event(
@@ -261,17 +276,59 @@ mod tests {
                 gating: "catnap-rcs".into(),
             },
             policy: vec![
-                Event::Select { cycle: 5, node: 0, subnet: 1, congested_mask: 0b01 },
-                Event::PacketInject { cycle: 5, id: 1, subnet: 1, src: 0, dst: 3 },
-                Event::Rcs { cycle: 6, subnet: 1, region: 0, on: true },
-                Event::Lcs { cycle: 6, subnet: 1, node: 0, on: true },
-                Event::PacketEject { cycle: 20, id: 1, subnet: 1, dst: 3, latency: 15 },
+                Event::Select {
+                    cycle: 5,
+                    node: 0,
+                    subnet: 1,
+                    congested_mask: 0b01,
+                },
+                Event::PacketInject {
+                    cycle: 5,
+                    id: 1,
+                    subnet: 1,
+                    src: 0,
+                    dst: 3,
+                },
+                Event::Rcs {
+                    cycle: 6,
+                    subnet: 1,
+                    region: 0,
+                    on: true,
+                },
+                Event::Lcs {
+                    cycle: 6,
+                    subnet: 1,
+                    node: 0,
+                    on: true,
+                },
+                Event::PacketEject {
+                    cycle: 20,
+                    id: 1,
+                    subnet: 1,
+                    dst: 3,
+                    latency: 15,
+                },
             ],
             subnets: vec![
                 vec![
-                    Event::Power { cycle: 10, node: 2, from: PowerPhase::Active, to: PowerPhase::Sleep },
-                    Event::Power { cycle: 40, node: 2, from: PowerPhase::Sleep, to: PowerPhase::Wake },
-                    Event::Power { cycle: 44, node: 2, from: PowerPhase::Wake, to: PowerPhase::Active },
+                    Event::Power {
+                        cycle: 10,
+                        node: 2,
+                        from: PowerPhase::Active,
+                        to: PowerPhase::Sleep,
+                    },
+                    Event::Power {
+                        cycle: 40,
+                        node: 2,
+                        from: PowerPhase::Sleep,
+                        to: PowerPhase::Wake,
+                    },
+                    Event::Power {
+                        cycle: 44,
+                        node: 2,
+                        from: PowerPhase::Wake,
+                        to: PowerPhase::Active,
+                    },
                 ],
                 vec![],
             ],
@@ -283,10 +340,7 @@ mod tests {
         let j = chrome_trace(&small_trace());
         let text = j.to_pretty_string();
         let parsed = Json::parse(&text).expect("chrome trace must be valid JSON");
-        let evs = parsed
-            .get("traceEvents")
-            .and_then(Json::as_array)
-            .expect("traceEvents array");
+        let evs = parsed.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
         assert!(!evs.is_empty());
         // Every event carries ph + pid; X events carry ts + dur.
         for ev in evs {

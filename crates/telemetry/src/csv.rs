@@ -150,15 +150,47 @@ mod tests {
                 gating: "catnap-rcs".into(),
             },
             policy: vec![
-                Event::Select { cycle: 10, node: 0, subnet: 0, congested_mask: 0 },
-                Event::PacketInject { cycle: 10, id: 1, subnet: 0, src: 0, dst: 3 },
-                Event::Rcs { cycle: 120, subnet: 1, region: 0, on: true },
-                Event::PacketEject { cycle: 130, id: 1, subnet: 0, dst: 3, latency: 120 },
+                Event::Select {
+                    cycle: 10,
+                    node: 0,
+                    subnet: 0,
+                    congested_mask: 0,
+                },
+                Event::PacketInject {
+                    cycle: 10,
+                    id: 1,
+                    subnet: 0,
+                    src: 0,
+                    dst: 3,
+                },
+                Event::Rcs {
+                    cycle: 120,
+                    subnet: 1,
+                    region: 0,
+                    on: true,
+                },
+                Event::PacketEject {
+                    cycle: 130,
+                    id: 1,
+                    subnet: 0,
+                    dst: 3,
+                    latency: 120,
+                },
             ],
             subnets: vec![
                 vec![
-                    Event::Power { cycle: 50, node: 1, from: PowerPhase::Active, to: PowerPhase::Sleep },
-                    Event::Power { cycle: 150, node: 1, from: PowerPhase::Sleep, to: PowerPhase::Wake },
+                    Event::Power {
+                        cycle: 50,
+                        node: 1,
+                        from: PowerPhase::Active,
+                        to: PowerPhase::Sleep,
+                    },
+                    Event::Power {
+                        cycle: 150,
+                        node: 1,
+                        from: PowerPhase::Sleep,
+                        to: PowerPhase::Wake,
+                    },
                 ],
                 vec![],
             ],
@@ -185,8 +217,7 @@ mod tests {
         let t = trace();
         let csv = power_timeline_csv(&t, 64);
         for line in csv.lines().skip(1) {
-            let cells: Vec<u64> =
-                line.split(',').map(|c| c.parse().unwrap()).collect();
+            let cells: Vec<u64> = line.split(',').map(|c| c.parse().unwrap()).collect();
             assert_eq!(cells[2] + cells[3] + cells[4], t.meta.num_nodes() as u64, "{line}");
         }
     }

@@ -54,7 +54,11 @@ impl fmt::Display for TraceDiff {
             writeln!(f, "meta blocks differ")?;
         }
         match &self.first_divergence {
-            Some(d) => writeln!(f, "first divergence: cycle {} ({} stream, event #{})", d.cycle, d.stream, d.index)?,
+            Some(d) => writeln!(
+                f,
+                "first divergence: cycle {} ({} stream, event #{})",
+                d.cycle, d.stream, d.index
+            )?,
             None => writeln!(f, "event streams identical")?,
         }
         for (name, delta) in Event::KIND_NAMES.iter().zip(self.kind_count_deltas) {
@@ -230,12 +234,34 @@ mod tests {
         Trace {
             meta: meta(),
             policy: vec![
-                Event::Select { cycle: 5, node: 0, subnet: 0, congested_mask: 0 },
-                Event::PacketInject { cycle: 5, id: 1, subnet: 0, src: 0, dst: 3 },
-                Event::PacketEject { cycle: 40, id: 1, subnet: 0, dst: 3, latency: 35 },
+                Event::Select {
+                    cycle: 5,
+                    node: 0,
+                    subnet: 0,
+                    congested_mask: 0,
+                },
+                Event::PacketInject {
+                    cycle: 5,
+                    id: 1,
+                    subnet: 0,
+                    src: 0,
+                    dst: 3,
+                },
+                Event::PacketEject {
+                    cycle: 40,
+                    id: 1,
+                    subnet: 0,
+                    dst: 3,
+                    latency: 35,
+                },
             ],
             subnets: vec![
-                vec![Event::Power { cycle: 20, node: 1, from: PowerPhase::Active, to: PowerPhase::Sleep }],
+                vec![Event::Power {
+                    cycle: 20,
+                    node: 1,
+                    from: PowerPhase::Active,
+                    to: PowerPhase::Sleep,
+                }],
                 vec![],
             ],
         }
@@ -256,8 +282,19 @@ mod tests {
         let mut b = base_trace();
         // Policy diverges at cycle 40, subnet 0 at cycle 20: the report
         // must name the subnet stream.
-        b.policy[2] = Event::PacketEject { cycle: 40, id: 1, subnet: 0, dst: 3, latency: 36 };
-        b.subnets[0][0] = Event::Power { cycle: 20, node: 2, from: PowerPhase::Active, to: PowerPhase::Sleep };
+        b.policy[2] = Event::PacketEject {
+            cycle: 40,
+            id: 1,
+            subnet: 0,
+            dst: 3,
+            latency: 36,
+        };
+        b.subnets[0][0] = Event::Power {
+            cycle: 20,
+            node: 2,
+            from: PowerPhase::Active,
+            to: PowerPhase::Sleep,
+        };
         let d = diff_traces(&a, &b);
         let div = d.first_divergence.expect("must diverge");
         assert_eq!(div.stream, "subnet 0");
@@ -270,16 +307,28 @@ mod tests {
     fn missing_events_count_as_divergence_with_deltas() {
         let a = base_trace();
         let mut b = base_trace();
-        b.subnets[0].push(Event::Power { cycle: 90, node: 1, from: PowerPhase::Sleep, to: PowerPhase::Wake });
+        b.subnets[0].push(Event::Power {
+            cycle: 90,
+            node: 1,
+            from: PowerPhase::Sleep,
+            to: PowerPhase::Wake,
+        });
         b.policy.pop();
         let d = diff_traces(&a, &b);
         let div = d.first_divergence.clone().expect("must diverge");
         assert_eq!(div.stream, "policy");
-        assert_eq!((div.index, div.cycle), (2, 40), "prefix-end divergence stamps the extra event");
+        assert_eq!(
+            (div.index, div.cycle),
+            (2, 40),
+            "prefix-end divergence stamps the extra event"
+        );
         assert_eq!(d.kind_count_deltas[0], 1, "one extra power event");
         assert_eq!(d.kind_count_deltas[5], -1, "one missing eject");
         let report = format!("{d}");
-        assert!(report.contains("power: +1") && report.contains("packet_eject: -1"), "{report}");
+        assert!(
+            report.contains("power: +1") && report.contains("packet_eject: -1"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -117,8 +117,7 @@ pub enum Event {
 impl Event {
     /// Human-readable names of the event kinds, indexed by
     /// [`Event::kind_index`].
-    pub const KIND_NAMES: [&'static str; 6] =
-        ["power", "lcs", "rcs", "select", "packet_inject", "packet_eject"];
+    pub const KIND_NAMES: [&'static str; 6] = ["power", "lcs", "rcs", "select", "packet_inject", "packet_eject"];
 
     /// The cycle this event is stamped with.
     pub fn cycle(&self) -> u64 {
@@ -228,12 +227,44 @@ mod tests {
     #[test]
     fn cycle_and_kind_cover_all_variants() {
         let evs = [
-            Event::Power { cycle: 1, node: 0, from: PowerPhase::Active, to: PowerPhase::Sleep },
-            Event::Lcs { cycle: 2, subnet: 0, node: 3, on: true },
-            Event::Rcs { cycle: 3, subnet: 1, region: 2, on: false },
-            Event::Select { cycle: 4, node: 5, subnet: 2, congested_mask: 0b0011 },
-            Event::PacketInject { cycle: 5, id: 9, subnet: 0, src: 1, dst: 2 },
-            Event::PacketEject { cycle: 6, id: 9, subnet: 0, dst: 2, latency: 40 },
+            Event::Power {
+                cycle: 1,
+                node: 0,
+                from: PowerPhase::Active,
+                to: PowerPhase::Sleep,
+            },
+            Event::Lcs {
+                cycle: 2,
+                subnet: 0,
+                node: 3,
+                on: true,
+            },
+            Event::Rcs {
+                cycle: 3,
+                subnet: 1,
+                region: 2,
+                on: false,
+            },
+            Event::Select {
+                cycle: 4,
+                node: 5,
+                subnet: 2,
+                congested_mask: 0b0011,
+            },
+            Event::PacketInject {
+                cycle: 5,
+                id: 9,
+                subnet: 0,
+                src: 1,
+                dst: 2,
+            },
+            Event::PacketEject {
+                cycle: 6,
+                id: 9,
+                subnet: 0,
+                dst: 2,
+                latency: 40,
+            },
         ];
         for (i, ev) in evs.iter().enumerate() {
             assert_eq!(ev.cycle(), i as u64 + 1);
@@ -255,9 +286,19 @@ mod tests {
         };
         let t = Trace {
             meta,
-            policy: vec![Event::Select { cycle: 1, node: 0, subnet: 0, congested_mask: 0 }],
+            policy: vec![Event::Select {
+                cycle: 1,
+                node: 0,
+                subnet: 0,
+                congested_mask: 0,
+            }],
             subnets: vec![
-                vec![Event::Power { cycle: 2, node: 1, from: PowerPhase::Active, to: PowerPhase::Sleep }],
+                vec![Event::Power {
+                    cycle: 2,
+                    node: 1,
+                    from: PowerPhase::Active,
+                    to: PowerPhase::Sleep,
+                }],
                 vec![],
             ],
         };

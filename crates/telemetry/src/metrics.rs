@@ -209,11 +209,7 @@ impl ToJson for Histogram {
                     self.nonzero_buckets()
                         .into_iter()
                         .map(|(lo, hi, c)| {
-                            Json::Arr(vec![
-                                Json::Int(lo as i64),
-                                Json::Int(hi as i64),
-                                Json::Int(c as i64),
-                            ])
+                            Json::Arr(vec![Json::Int(lo as i64), Json::Int(hi as i64), Json::Int(c as i64)])
                         })
                         .collect(),
                 ),
@@ -339,11 +335,7 @@ impl ToJson for Registry {
             .iter()
             .map(|(n, v)| (n.clone(), Json::Int(*v as i64)))
             .collect::<Vec<_>>();
-        let gauges = self
-            .gauges
-            .iter()
-            .map(|(n, v)| (n.clone(), Json::Num(*v)))
-            .collect::<Vec<_>>();
+        let gauges = self.gauges.iter().map(|(n, v)| (n.clone(), Json::Num(*v))).collect::<Vec<_>>();
         let histograms = self
             .histograms
             .iter()
@@ -497,7 +489,10 @@ mod tests {
         r.inc("a", 1);
         r.observe("lat", 42);
         let j = r.to_json();
-        assert_eq!(j.get("counters").and_then(|c| c.get("a")).and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            j.get("counters").and_then(|c| c.get("a")).and_then(Json::as_u64),
+            Some(1)
+        );
         let lat = j.get("histograms").and_then(|h| h.get("lat")).expect("lat histogram");
         assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
         // Reparse round-trip through the pretty writer.

@@ -153,7 +153,12 @@ mod tests {
     use crate::event::PowerPhase;
 
     fn ev(cycle: u64) -> Event {
-        Event::Power { cycle, node: 0, from: PowerPhase::Active, to: PowerPhase::Sleep }
+        Event::Power {
+            cycle,
+            node: 0,
+            from: PowerPhase::Active,
+            to: PowerPhase::Sleep,
+        }
     }
 
     #[test]
@@ -191,7 +196,12 @@ mod tests {
     fn counting_sink_counts_by_kind() {
         let mut s = CountingSink::new();
         s.record(ev(1));
-        s.record(Event::Select { cycle: 2, node: 0, subnet: 1, congested_mask: 1 });
+        s.record(Event::Select {
+            cycle: 2,
+            node: 0,
+            subnet: 1,
+            congested_mask: 1,
+        });
         s.record(ev(3));
         assert_eq!(s.count_of(0), 2);
         assert_eq!(s.count_of(3), 1);

@@ -3,6 +3,7 @@
 use crate::patterns::SyntheticPattern;
 use crate::schedule::LoadSchedule;
 use catnap_noc::{MeshDims, MessageClass, NodeId, PacketDescriptor, PacketId};
+use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 use catnap_util::SimRng;
 use std::collections::VecDeque;
 
@@ -171,6 +172,86 @@ impl SyntheticWorkload {
         }
     }
 
+    /// Serializes the workload's *position* — RNG stream, id counters,
+    /// scan cursor, and pre-drawn pending arrivals — as an opaque blob
+    /// for checkpointing (typically stored as the driver section of a
+    /// `catnap` checkpoint). The workload *parameters* (pattern,
+    /// schedule, packet size, mesh) are part of the job description and
+    /// are not serialized; see [`SyntheticWorkload::decode_position`].
+    pub fn encode_position(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_u64(self.next_id);
+        w.put_u64(self.generated);
+        w.put_u64(self.scanned_to);
+        w.put_usize(self.pending.len());
+        for p in &self.pending {
+            w.put_u64(p.cycle);
+            w.put_u16(p.src.0);
+            w.put_u16(p.dst.0);
+        }
+        w.into_inner()
+    }
+
+    /// Rebuilds a workload at a position saved by
+    /// [`SyntheticWorkload::encode_position`]. The caller supplies the
+    /// workload parameters; they may legitimately differ from the saving
+    /// run *after* the saved cycle — that is what lets one warm-up
+    /// checkpoint serve a whole sweep of measurement schedules agreeing
+    /// on the warm prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on a truncated blob or a position inconsistent
+    /// with `dims` (pending arrivals out of range or unsorted).
+    pub fn decode_position(
+        pattern: SyntheticPattern,
+        schedule: LoadSchedule,
+        packet_bits: u32,
+        dims: MeshDims,
+        bytes: &[u8],
+    ) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let mut state = [0u64; 4];
+        for word in state.iter_mut() {
+            *word = r.get_u64()?;
+        }
+        let mut w = SyntheticWorkload::with_schedule(pattern, schedule, packet_bits, dims, 0);
+        w.rng = SimRng::from_state(state);
+        w.next_id = r.get_u64()?;
+        w.generated = r.get_u64()?;
+        w.scanned_to = r.get_u64()?;
+        let len = r.get_usize()?;
+        if len > (1 << 24) {
+            return Err(CodecError::Invalid("implausible pending-arrival count"));
+        }
+        let nodes = dims.num_nodes() as u16;
+        let mut last = 0u64;
+        for _ in 0..len {
+            let cycle = r.get_u64()?;
+            let src = r.get_u16()?;
+            let dst = r.get_u16()?;
+            if cycle < last || cycle >= w.scanned_to {
+                return Err(CodecError::Invalid("pending arrival outside scanned range"));
+            }
+            if src >= nodes || dst >= nodes {
+                return Err(CodecError::Invalid("pending arrival node out of mesh"));
+            }
+            last = cycle;
+            w.pending.push_back(PendingArrival {
+                cycle,
+                src: NodeId(src),
+                dst: NodeId(dst),
+            });
+        }
+        if !r.is_empty() {
+            return Err(CodecError::Invalid("trailing bytes in workload position"));
+        }
+        Ok(w)
+    }
+
     /// Takes cycle `self.scanned_to`'s random draws — in exactly the
     /// order the pre-buffering `drive` loop used to take them inline —
     /// and buffers any resulting arrivals.
@@ -312,7 +393,11 @@ mod tests {
         let sched = LoadSchedule::piecewise(vec![(0, 0.0), (500, 0.9)]);
         let mut w = SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, sched, 512, mesh8(), 9);
         assert_eq!(w.next_arrival_cycle(0, 400), 400, "no draws before the burst");
-        assert_eq!(w.next_arrival_cycle(0, 501), 500, "burst at 0.9/node fires on its first cycle");
+        assert_eq!(
+            w.next_arrival_cycle(0, 501),
+            500,
+            "burst at 0.9/node fires on its first cycle"
+        );
         let mut w2 = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.0, 512, mesh8(), 9);
         assert_eq!(w2.next_arrival_cycle(7, 1_000_000), 1_000_000);
     }
@@ -324,6 +409,55 @@ mod tests {
         let mut sink = CollectSink::default();
         TrafficSource::drive(&mut idle, &mut sink);
         assert!(sink.packets.is_empty());
+    }
+
+    #[test]
+    fn position_round_trip_mid_lookahead_is_bit_identical() {
+        // Capture the position at an awkward spot: after a lookahead has
+        // pre-drawn arrivals into `pending`, so every field is non-trivial.
+        let mut w = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.05, 512, mesh8(), 42);
+        let mut sink = CollectSink::default();
+        for c in 0..200 {
+            sink.cycle = c;
+            w.drive(&mut sink);
+        }
+        let next = TrafficSource::next_arrival_cycle(&mut w, 200, 400);
+        assert!(next < 400, "0.05/node load should arrive well before 400");
+        assert!(!w.pending.is_empty());
+
+        let blob = w.encode_position();
+        let mut restored = SyntheticWorkload::decode_position(
+            SyntheticPattern::UniformRandom,
+            LoadSchedule::constant(0.05),
+            512,
+            mesh8(),
+            &blob,
+        )
+        .unwrap();
+
+        let mut a = CollectSink::default();
+        let mut b = CollectSink::default();
+        for c in 200..600 {
+            a.cycle = c;
+            b.cycle = c;
+            w.drive(&mut a);
+            restored.drive(&mut b);
+        }
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(w.generated(), restored.generated());
+
+        // Corruption is rejected, not misparsed.
+        let mut bad = blob.clone();
+        let last = bad.len() - 2;
+        bad[last] = 0xff; // pending dst -> out of mesh
+        assert!(SyntheticWorkload::decode_position(
+            SyntheticPattern::UniformRandom,
+            LoadSchedule::constant(0.05),
+            512,
+            mesh8(),
+            &bad
+        )
+        .is_err());
     }
 
     #[test]

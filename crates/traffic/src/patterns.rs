@@ -61,7 +61,9 @@ impl SyntheticPattern {
             }
             SyntheticPattern::Tornado => {
                 let (x, y) = dims.coords(src);
-                let shift = (dims.cols / 2).saturating_sub(if dims.cols.is_multiple_of(2) { 1 } else { 0 }).max(1);
+                let shift = (dims.cols / 2)
+                    .saturating_sub(if dims.cols.is_multiple_of(2) { 1 } else { 0 })
+                    .max(1);
                 dims.node_at((x + shift) % dims.cols, y)
             }
             SyntheticPattern::HotSpot { hotspot, per_mille } => {
@@ -180,7 +182,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > trials / 3, "hotspot should attract ~half the traffic, got {hits}");
+        assert!(
+            hits > trials / 3,
+            "hotspot should attract ~half the traffic, got {hits}"
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Time-varying offered-load schedules for bursty-traffic experiments.
 
-
 /// A piecewise-constant offered-load schedule: the injection rate
 /// (packets per node per cycle) as a function of the simulation cycle.
 ///
@@ -46,13 +45,7 @@ impl LoadSchedule {
     /// The paper's Figure-12 bursty schedule: base 0.01, burst to 0.30 at
     /// cycles 1000-1500, second burst to 0.10 at cycles 2000-2500.
     pub fn fig12_bursts() -> Self {
-        LoadSchedule::piecewise(vec![
-            (0, 0.01),
-            (1000, 0.30),
-            (1500, 0.01),
-            (2000, 0.10),
-            (2500, 0.01),
-        ])
+        LoadSchedule::piecewise(vec![(0, 0.01), (1000, 0.30), (1500, 0.01), (2000, 0.10), (2500, 0.01)])
     }
 
     /// A periodic on/off burst schedule: `on_rate` for the first
@@ -77,6 +70,12 @@ impl LoadSchedule {
             segments.push((start + on_cycles, off_rate));
         }
         LoadSchedule::piecewise(segments)
+    }
+
+    /// The `(from_cycle, rate)` segments, sorted by cycle (for job
+    /// fingerprinting and schedule-prefix comparison).
+    pub fn segments(&self) -> &[(u64, f64)] {
+        &self.segments
     }
 
     /// Offered load at a given cycle.
@@ -131,7 +130,8 @@ mod tests {
         assert_eq!(s.rate_at(100), 0.001);
         assert_eq!(s.rate_at(399), 0.001);
         assert_eq!(s.rate_at(400), 0.4);
-        assert_eq!(s.rate_at(850), 0.001);
+        assert_eq!(s.rate_at(850), 0.4, "cycle 850 is inside period 2's on-phase (800-900)");
+        assert_eq!(s.rate_at(950), 0.001);
         assert_eq!(s.rate_at(10_000), 0.001, "off-rate persists past the last period");
         assert_eq!(s.peak_rate(), 0.4);
     }

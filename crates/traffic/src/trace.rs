@@ -307,7 +307,10 @@ mod tests {
         }
         assert_eq!(replay.packets.len(), n);
         for (a, b) in replay.packets.iter().zip(inner.packets.iter()) {
-            assert_eq!((a.src, a.dst, a.bits, a.created_cycle), (b.src, b.dst, b.bits, b.created_cycle));
+            assert_eq!(
+                (a.src, a.dst, a.bits, a.created_cycle),
+                (b.src, b.dst, b.bits, b.created_cycle)
+            );
         }
     }
 }

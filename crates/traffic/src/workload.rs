@@ -11,7 +11,6 @@
 //! well-known memory intensity (e.g. `mcf` extremely memory-bound,
 //! `sjeng`/`gromacs` compute-bound).
 
-
 /// Synthetic memory-behaviour parameters of one application.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Benchmark {
@@ -160,12 +159,12 @@ impl WorkloadMix {
     pub fn applications(self) -> [&'static str; 8] {
         match self {
             WorkloadMix::Light => ["applu", "gromacs", "deal", "hmmer", "calculix", "gcc", "sjeng", "wrf"],
-            WorkloadMix::MediumLight => {
-                ["gromacs", "deal", "gobmk", "wrf", "h264ref", "sphinx", "applu", "calculix"]
-            }
-            WorkloadMix::MediumHeavy => {
-                ["cactus", "deal", "calculix", "hmmer", "namd", "sjas", "gromacs", "sjeng"]
-            }
+            WorkloadMix::MediumLight => [
+                "gromacs", "deal", "gobmk", "wrf", "h264ref", "sphinx", "applu", "calculix",
+            ],
+            WorkloadMix::MediumHeavy => [
+                "cactus", "deal", "calculix", "hmmer", "namd", "sjas", "gromacs", "sjeng",
+            ],
             WorkloadMix::Heavy => ["sjas", "astar", "mcf", "sphinx", "tonto", "tpcw", "deal", "hmmer"],
         }
     }
@@ -209,9 +208,7 @@ impl WorkloadMix {
     /// proportionally for other core counts.
     pub fn assign(self, num_cores: usize) -> Vec<&'static Benchmark> {
         let apps = self.benchmarks();
-        (0..num_cores)
-            .map(|c| apps[c * apps.len() / num_cores.max(1)])
-            .collect()
+        (0..num_cores).map(|c| apps[c * apps.len() / num_cores.max(1)]).collect()
     }
 }
 

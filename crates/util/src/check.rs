@@ -280,22 +280,20 @@ mod tests {
         // Property: no element is >= 50. Failing inputs shrink toward a
         // single offending element.
         let err = catch_unwind(AssertUnwindSafe(|| {
-            Checker::new("small-elements")
-                .cases(16)
-                .run_shrink(
-                    |rng| {
-                        let n = rng.gen_range(1usize..40);
-                        (0..n).map(|_| rng.gen_range(0u32..100)).collect::<Vec<u32>>()
-                    },
-                    |v| {
-                        if v.iter().all(|&x| x < 50) {
-                            Ok(())
-                        } else {
-                            Err("element out of bounds".to_string())
-                        }
-                    },
-                    |v| shrink_halves(v),
-                );
+            Checker::new("small-elements").cases(16).run_shrink(
+                |rng| {
+                    let n = rng.gen_range(1usize..40);
+                    (0..n).map(|_| rng.gen_range(0u32..100)).collect::<Vec<u32>>()
+                },
+                |v| {
+                    if v.iter().all(|&x| x < 50) {
+                        Ok(())
+                    } else {
+                        Err("element out of bounds".to_string())
+                    }
+                },
+                |v| shrink_halves(v),
+            );
         }))
         .unwrap_err();
         let msg = err.downcast_ref::<String>().unwrap();

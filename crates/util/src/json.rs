@@ -289,10 +289,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(JsonError::new(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            )))
+            Err(JsonError::new(format!("expected '{}' at byte {}", b as char, self.pos)))
         }
     }
 
@@ -437,8 +434,8 @@ impl Parser<'_> {
         if self.pos + 4 > self.bytes.len() {
             return Err(JsonError::new("truncated \\u escape"));
         }
-        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| JsonError::new("bad \\u escape"))?;
+        let s =
+            std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).map_err(|_| JsonError::new("bad \\u escape"))?;
         let v = u32::from_str_radix(s, 16).map_err(|_| JsonError::new("bad \\u escape"))?;
         self.pos += 4;
         Ok(v)
@@ -470,8 +467,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| JsonError::new("bad number"))?;
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError::new("bad number"))?;
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Json::Int(i));
@@ -701,7 +697,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated", "[1] extra"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "[1] extra",
+        ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }
     }
@@ -732,7 +737,11 @@ mod tests {
             let once = Json::parse(&text).unwrap();
             assert_eq!(once, j, "value round trip");
             let twice = Json::parse(&once.to_compact_string()).unwrap();
-            assert_eq!(once.to_compact_string(), twice.to_compact_string(), "string fixed point");
+            assert_eq!(
+                once.to_compact_string(),
+                twice.to_compact_string(),
+                "string fixed point"
+            );
         }
     }
 
@@ -748,7 +757,10 @@ mod tests {
     fn large_u64_counters_survive() {
         let v = (1u64 << 53) + 1; // would lose precision as f64
         let j = v.to_json();
-        assert_eq!(u64::from_json(&Json::parse(&j.to_compact_string()).unwrap()).unwrap(), v);
+        assert_eq!(
+            u64::from_json(&Json::parse(&j.to_compact_string()).unwrap()).unwrap(),
+            v
+        );
     }
 
     #[test]

@@ -20,13 +20,19 @@
 //! * [`pool`] — a scoped thread pool with persistent workers,
 //!   deterministic result ordering, and a serial fallback, used to step
 //!   independent subnets and fan out benchmark sweep points.
+//! * [`codec`] — the checkpoint binary format: little-endian
+//!   [`ByteWriter`](codec::ByteWriter)/[`ByteReader`](codec::ByteReader)
+//!   primitives, an incremental FNV-1a hasher, and the versioned
+//!   magic + fingerprint + checksum container (`seal`/`open`).
 
 pub mod check;
+pub mod codec;
 pub mod json;
 pub mod pool;
 pub mod rng;
 
 pub use check::Checker;
+pub use codec::{ByteReader, ByteWriter, CodecError, Fnv64};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pool::ThreadPool;
 pub use rng::SimRng;

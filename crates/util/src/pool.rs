@@ -313,7 +313,11 @@ mod tests {
             .collect();
         let got = pool.run(jobs);
         assert_eq!(got, (0..8).collect::<Vec<usize>>());
-        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<usize>>(), "serial path preserves submission order exactly");
+        assert_eq!(
+            *order.lock().unwrap(),
+            (0..8).collect::<Vec<usize>>(),
+            "serial path preserves submission order exactly"
+        );
     }
 
     #[test]
@@ -356,7 +360,11 @@ mod tests {
         assert_eq!(parse_threads(None), None);
         assert_eq!(parse_threads(Some("")), None);
         assert_eq!(parse_threads(Some("banana")), None);
-        assert_eq!(parse_threads(Some("0")), None, "zero lanes would deadlock; treated as unset");
+        assert_eq!(
+            parse_threads(Some("0")),
+            None,
+            "zero lanes would deadlock; treated as unset"
+        );
         assert_eq!(parse_threads(Some("1")), Some(1));
         assert_eq!(parse_threads(Some(" 8 ")), Some(8));
     }

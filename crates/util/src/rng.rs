@@ -76,6 +76,18 @@ impl SimRng {
         SimRng::seed_from_u64(self.next_u64())
     }
 
+    /// The raw 256-bit generator state, for checkpointing. Restoring it
+    /// with [`SimRng::from_state`] resumes the stream exactly where it
+    /// left off.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a [`SimRng::state`] snapshot.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     /// Next raw 64-bit output (xoshiro256\*\* core).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -12,13 +12,8 @@ fn main() {
     let cfg = MultiNocConfig::catnap_4x128().gating(true);
     let mut net = MultiNoc::new(cfg);
     let schedule = LoadSchedule::fig12_bursts();
-    let mut load = SyntheticWorkload::with_schedule(
-        SyntheticPattern::UniformRandom,
-        schedule.clone(),
-        512,
-        net.dims(),
-        7,
-    );
+    let mut load =
+        SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule.clone(), 512, net.dims(), 7);
 
     println!(
         "{:>6} {:>8} {:>9} {:>9} {:>26} {:>22}",

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example policy_compare`
 
-use catnap_repro::catnap::{
-    CongestionMetric, MetricKind, MultiNoc, MultiNocConfig, SelectorKind,
-};
+use catnap_repro::catnap::{CongestionMetric, MetricKind, MultiNoc, MultiNocConfig, SelectorKind};
 use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload};
 
 fn run(cfg: MultiNocConfig, rate: f64) -> (String, f64, f64) {

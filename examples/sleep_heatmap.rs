@@ -37,21 +37,10 @@ fn frame<S: Sink>(net: &MultiNoc<S>) -> String {
 }
 
 fn main() {
-    let mut net =
-        MultiNoc::with_sinks(MultiNocConfig::catnap_4x128().gating(true), |_| RecordingSink::new());
-    let schedule = LoadSchedule::piecewise(vec![
-        (0, 0.01),
-        (1_200, 0.30),
-        (2_400, 0.08),
-        (3_600, 0.01),
-    ]);
-    let mut load = SyntheticWorkload::with_schedule(
-        SyntheticPattern::UniformRandom,
-        schedule.clone(),
-        512,
-        net.dims(),
-        3,
-    );
+    let mut net = MultiNoc::with_sinks(MultiNocConfig::catnap_4x128().gating(true), |_| RecordingSink::new());
+    let schedule = LoadSchedule::piecewise(vec![(0, 0.01), (1_200, 0.30), (2_400, 0.08), (3_600, 0.01)]);
+    let mut load =
+        SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule.clone(), 512, net.dims(), 3);
     println!("subnet:     0          1          2          3     (# active, . asleep, ~ waking)\n");
     for step in 0..8 {
         for _ in 0..600 {

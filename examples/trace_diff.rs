@@ -19,9 +19,7 @@
 //! errors.
 
 use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
-use catnap_repro::telemetry::{
-    diff_csv_timelines, diff_traces, power_timeline_csv, RecordingSink,
-};
+use catnap_repro::telemetry::{diff_csv_timelines, diff_traces, power_timeline_csv, RecordingSink};
 use catnap_repro::traffic::{SyntheticPattern, SyntheticWorkload};
 use std::process::ExitCode;
 

@@ -43,10 +43,7 @@ impl Args {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, name: &str) -> bool {
@@ -141,7 +138,11 @@ fn run() -> Result<(), String> {
             let load: f64 = args.num("load", 0.05f64)?;
             let bits: u32 = args.num("packet-bits", 512u32)?;
             let seed: u64 = args.num("seed", 42u64)?;
-            println!("running {} | {} @ {load} packets/node/cycle, {cycles} cycles", cfg.name, pattern.name());
+            println!(
+                "running {} | {} @ {load} packets/node/cycle, {cycles} cycles",
+                cfg.name,
+                pattern.name()
+            );
             let mut net = MultiNoc::new(cfg);
             let mut wl = SyntheticWorkload::new(pattern, load, bits, net.dims(), seed);
             for _ in 0..cycles {
@@ -161,7 +162,13 @@ fn run() -> Result<(), String> {
                 power.total(),
                 power.csc_fraction * 100.0
             );
-            println!("subnet utilization: {:?}", rep.subnet_utilization.iter().map(|u| format!("{:.0}%", u * 100.0)).collect::<Vec<_>>());
+            println!(
+                "subnet utilization: {:?}",
+                rep.subnet_utilization
+                    .iter()
+                    .map(|u| format!("{:.0}%", u * 100.0))
+                    .collect::<Vec<_>>()
+            );
             Ok(())
         }
         "mix" => {

@@ -20,6 +20,10 @@
 //! * [`telemetry`] — cycle-level tracing and metrics: typed events,
 //!   statically-dispatched sinks, HDR-style histograms, Chrome-trace and
 //!   CSV exporters.
+//! * [`bench`] — benchmark harnesses regenerating the paper's figures,
+//!   plus the fingerprint-keyed simulation cache front-end.
+//! * [`serve`] — batch simulation server: a JSONL job queue (stdin/stdout
+//!   or TCP) deduplicated through the result cache.
 //! * [`util`] — zero-dependency support library (seedable RNG, minimal
 //!   JSON, mini property-testing runner) keeping the build hermetic.
 //!
@@ -48,9 +52,11 @@
 //! ```
 
 pub use catnap;
+pub use catnap_bench as bench;
 pub use catnap_multicore as multicore;
 pub use catnap_noc as noc;
 pub use catnap_power as power;
+pub use catnap_serve as serve;
 pub use catnap_telemetry as telemetry;
 pub use catnap_traffic as traffic;
 pub use catnap_util as util;

@@ -134,7 +134,10 @@ fn golden_fingerprint_recorded(selector: SelectorKind, gating: bool) -> ((u64, u
     let snap = net.snapshot();
     let events = net.take_trace().num_events();
     let report = net.finish();
-    ((report.packets_delivered, snap.latency_sum, snap.or_switch_events), events)
+    (
+        (report.packets_delivered, snap.latency_sum, snap.or_switch_events),
+        events,
+    )
 }
 
 /// Every pinned golden must replay bit-identically with recording
@@ -159,7 +162,10 @@ fn goldens_unchanged_with_recording_telemetry() {
             got, want,
             "recording telemetry perturbed the golden for {selector:?} gating={gating}"
         );
-        assert!(events > 0, "recording sinks captured nothing for {selector:?} gating={gating}");
+        assert!(
+            events > 0,
+            "recording sinks captured nothing for {selector:?} gating={gating}"
+        );
     }
 }
 

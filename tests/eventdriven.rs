@@ -16,9 +16,7 @@
 //! under bursty and saturating loads, which reports the first divergent
 //! cycle on failure.
 
-use catnap_repro::catnap::{
-    CongestionMetric, GatingPolicy, MetricKind, MultiNoc, MultiNocConfig, SelectorKind,
-};
+use catnap_repro::catnap::{CongestionMetric, GatingPolicy, MetricKind, MultiNoc, MultiNocConfig, SelectorKind};
 use catnap_repro::noc::{MeshDims, SchedStats};
 use catnap_repro::telemetry::{diff_csv_timelines, diff_traces, power_timeline_csv, RecordingSink};
 use catnap_repro::traffic::schedule::LoadSchedule;
@@ -33,12 +31,7 @@ type LatencyHistogram = BTreeMap<u64, u64>;
 
 /// Runs the golden scenario for `cycles` with the given stepping mode
 /// and returns everything the comparison needs.
-fn golden_run(
-    selector: SelectorKind,
-    gating: bool,
-    cycles: u64,
-    force_full: bool,
-) -> (MultiNoc, LatencyHistogram) {
+fn golden_run(selector: SelectorKind, gating: bool, cycles: u64, force_full: bool) -> (MultiNoc, LatencyHistogram) {
     let cfg = MultiNocConfig::catnap_4x128().selector(selector).gating(gating).seed(7);
     let mut net = MultiNoc::new(cfg);
     net.set_force_full_step(force_full);
@@ -77,7 +70,9 @@ fn goldens_bit_identical_eventdriven_vs_full_step() {
         let scope = format!("{selector:?} gating={gating}");
         assert_eq!(event.snapshot(), full.snapshot(), "snapshots diverged for {scope}");
         assert_eq!(hist_event, hist_full, "latency histograms diverged for {scope}");
-        let runs: u64 = (0..event.num_subnets()).map(|s| event.subnet(s).sched_stats().router_runs).sum();
+        let runs: u64 = (0..event.num_subnets())
+            .map(|s| event.subnet(s).sched_stats().router_runs)
+            .sum();
         assert!(runs > 0, "event-driven run never engaged the scheduler for {scope}");
 
         let report = event.finish();
@@ -142,8 +137,7 @@ fn force_full_step_bypasses_scheduler_entirely() {
         let mut net = MultiNoc::new(cfg);
         net.set_force_full_step(force_full);
         net.set_track_deliveries(true);
-        let mut load =
-            SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.03, 512, net.dims(), 13);
+        let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.03, 512, net.dims(), 13);
         for _ in 0..4_000 {
             load.drive(&mut net);
             net.step();
@@ -275,7 +269,9 @@ fn prop_eventdriven_equals_percycle() {
             if tails_event != tails_full || snap_event != snap_full || report_event != report_full {
                 let at = first_divergent_cycle(input, CYCLES)
                     .map(|c| format!("first divergent cycle: {c}"))
-                    .unwrap_or_else(|| "snapshots re-converged; divergence is in the ejection stream or final report".into());
+                    .unwrap_or_else(|| {
+                        "snapshots re-converged; divergence is in the ejection stream or final report".into()
+                    });
                 return Err(format!(
                     "event-driven twin diverged from per-cycle twin ({at}); \
                      snapshots: {snap_event:?} vs {snap_full:?}"

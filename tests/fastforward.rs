@@ -50,7 +50,10 @@ fn goldens_bit_identical_through_step_until() {
     ];
     for (selector, gating, want) in pinned {
         let got = golden_fingerprint_step_until(selector, gating);
-        assert_eq!(got, want, "step_until changed the golden for {selector:?} gating={gating}");
+        assert_eq!(
+            got, want,
+            "step_until changed the golden for {selector:?} gating={gating}"
+        );
     }
 }
 
@@ -69,7 +72,11 @@ fn fast_forward_preserves_traces_and_timelines() {
     baseline.set_force_full_step(true);
     let mut lb = load(baseline.dims());
     baseline.step_until(&mut lb, CYCLES);
-    assert_eq!(baseline.skip_stats(), SkipStats::default(), "forced baseline must not skip");
+    assert_eq!(
+        baseline.skip_stats(),
+        SkipStats::default(),
+        "forced baseline must not skip"
+    );
 
     let mut fast = MultiNoc::with_sinks(cfg(), |_| RecordingSink::new());
     let mut lf = load(fast.dims());

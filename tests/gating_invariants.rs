@@ -23,7 +23,10 @@ fn subnet_zero_never_sleeps_under_catnap() {
     }
     // Higher subnets do sleep at this load.
     let (_, sleeping, _) = net.power_state_census();
-    assert!(sleeping > 100, "higher-order subnets should be mostly asleep, got {sleeping}");
+    assert!(
+        sleeping > 100,
+        "higher-order subnets should be mostly asleep, got {sleeping}"
+    );
 }
 
 #[test]
@@ -75,7 +78,10 @@ fn csc_fraction_bounded() {
     }
     let report = net.finish();
     assert!(report.csc_fraction > 0.5, "very low load must gate heavily");
-    assert!(report.csc_fraction <= 0.75 + 1e-9, "subnet 0 always on bounds CSC at 75%");
+    assert!(
+        report.csc_fraction <= 0.75 + 1e-9,
+        "subnet 0 always on bounds CSC at 75%"
+    );
 }
 
 #[test]
@@ -102,8 +108,7 @@ fn burst_after_deep_sleep_is_fully_absorbed() {
     // packets may be lost and throughput must ramp.
     let schedule = LoadSchedule::piecewise(vec![(0, 0.005), (2_000, 0.35), (3_000, 0.005)]);
     let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
-    let mut load =
-        SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule, 512, net.dims(), 6);
+    let mut load = SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule, 512, net.dims(), 6);
     for _ in 0..3_000 {
         load.drive(&mut net);
         net.step();
@@ -128,9 +133,7 @@ fn packet_injected_at_sleep_transition_is_still_delivered() {
     // wormhole stays open toward a sleeping neighbour, and a freshly
     // woken router resets `idle_cycles` so an eager gating controller
     // cannot re-gate it before the in-flight flit lands.
-    let mut net = Network::new(
-        NetworkConfig::with_width(128).dims(MeshDims::new(4, 4)).gating_enabled(true),
-    );
+    let mut net = Network::new(NetworkConfig::with_width(128).dims(MeshDims::new(4, 4)).gating_enabled(true));
     // Idle out, then inject a corner-to-corner packet and, in the same
     // pre-step instant, gate every router on (and off) its path.
     for _ in 0..10 {
@@ -142,7 +145,10 @@ fn packet_injected_at_sleep_transition_is_still_delivered() {
         net.request_sleep(node); // refused where the guard says no
     }
     let (_, sleeping, _) = net.power_state_census();
-    assert!(sleeping >= 14, "nearly all routers should gate at the transition instant, got {sleeping}");
+    assert!(
+        sleeping >= 14,
+        "nearly all routers should gate at the transition instant, got {sleeping}"
+    );
     // Run with a maximally eager controller: every cycle, re-gate any
     // router the guard allows. Without the idle-reset-on-wake fix this
     // re-gates just-woken routers and strands the packet forever.
@@ -192,7 +198,10 @@ fn wakeup_costs_show_up_in_latency_not_loss() {
         net.finish()
     };
     assert_eq!(gated.packets_generated, gated.packets_delivered);
-    assert_eq!(gated.packets_generated, ungated.packets_generated, "same seed, same offered traffic");
+    assert_eq!(
+        gated.packets_generated, ungated.packets_generated,
+        "same seed, same offered traffic"
+    );
     assert!(
         gated.avg_packet_latency > ungated.avg_packet_latency + 5.0,
         "Single-NoC gating at low load must cost latency ({} vs {})",

@@ -24,7 +24,11 @@ fn manifests() -> Vec<PathBuf> {
             out.push(manifest);
         }
     }
-    assert!(out.len() >= 8, "expected root + >=7 crate manifests, found {}", out.len());
+    assert!(
+        out.len() >= 8,
+        "expected root + >=7 crate manifests, found {}",
+        out.len()
+    );
     out
 }
 
@@ -69,7 +73,10 @@ fn manifests_declare_only_path_dependencies() {
             bad.is_empty(),
             "non-path dependencies in {}:\n{}",
             manifest.display(),
-            bad.iter().map(|(n, l)| format!("  line {n}: {l}")).collect::<Vec<_>>().join("\n")
+            bad.iter()
+                .map(|(n, l)| format!("  line {n}: {l}"))
+                .collect::<Vec<_>>()
+                .join("\n")
         );
     }
 }
@@ -115,14 +122,12 @@ fn scan_std_only(src: &Path, allowed_crates: &[&str]) -> Vec<String> {
         let text = fs::read_to_string(&path).expect("read source");
         for (i, raw) in text.lines().enumerate() {
             let line = raw.trim();
-            let Some(rest) = line.strip_prefix("use ") else { continue };
-            let root = rest
-                .split(&[':', ';', ' ', '{'][..])
-                .next()
-                .unwrap_or("")
-                .trim();
-            let ok = matches!(root, "std" | "core" | "alloc" | "crate" | "self" | "super")
-                || allowed_crates.contains(&root);
+            let Some(rest) = line.strip_prefix("use ") else {
+                continue;
+            };
+            let root = rest.split(&[':', ';', ' ', '{'][..]).next().unwrap_or("").trim();
+            let ok =
+                matches!(root, "std" | "core" | "alloc" | "crate" | "self" | "super") || allowed_crates.contains(&root);
             if !ok {
                 offenders.push(format!("{}:{}: {}", path.display(), i + 1, raw));
             }
@@ -154,6 +159,29 @@ fn telemetry_sources_import_only_std_and_util() {
     );
 }
 
+/// `catnap-serve` speaks its wire protocol with nothing but `std` —
+/// sockets from `std::net`, JSON from `catnap-util`. A `use` of any
+/// crate outside the workspace means the server grew a real dependency.
+#[test]
+fn serve_sources_import_only_std_and_workspace_crates() {
+    let offenders = scan_std_only(
+        &repo_root().join("crates/serve/src"),
+        &[
+            "catnap",
+            "catnap_bench",
+            "catnap_noc",
+            "catnap_serve",
+            "catnap_traffic",
+            "catnap_util",
+        ],
+    );
+    assert!(
+        offenders.is_empty(),
+        "catnap-serve imports outside std/core/alloc/crate/workspace:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
 #[test]
 fn lockfile_covers_exactly_the_workspace_crates() {
     let lock = fs::read_to_string(repo_root().join("Cargo.lock")).expect("read Cargo.lock");
@@ -172,6 +200,7 @@ fn lockfile_covers_exactly_the_workspace_crates() {
             "catnap-noc",
             "catnap-power",
             "catnap-repro",
+            "catnap-serve",
             "catnap-telemetry",
             "catnap-traffic",
             "catnap-util",

@@ -66,8 +66,7 @@ fn cache_mode_protocol_traffic_shape() {
     assert!(rep.misses_completed > 0);
     // The network must have carried both control and data packets:
     // average flits per packet strictly between the two sizes.
-    let flits_per_packet =
-        rep.network.accepted_flits_per_node_cycle / rep.network.accepted_packets_per_node_cycle;
+    let flits_per_packet = rep.network.accepted_flits_per_node_cycle / rep.network.accepted_packets_per_node_cycle;
     assert!(
         flits_per_packet > 1.05 && flits_per_packet < 2.0,
         "512-bit subnets: ctrl=1 flit, data=2 flits, mix gives {flits_per_packet:.2}"
@@ -104,5 +103,9 @@ fn ipc_bounded_by_commit_width() {
     sys.run(2_000);
     let rep = sys.report();
     assert!(rep.ipc <= 2.0 * 256.0 + 1e-9);
-    assert!(rep.ipc > 0.5 * 256.0, "Light should run near full speed, got {}", rep.ipc);
+    assert!(
+        rep.ipc > 0.5 * 256.0,
+        "Light should run near full speed, got {}",
+        rep.ipc
+    );
 }

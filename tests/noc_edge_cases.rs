@@ -3,9 +3,7 @@
 //! separation end to end.
 
 use catnap_repro::catnap::{MultiNoc, MultiNocConfig};
-use catnap_repro::noc::{
-    Flit, MeshDims, MessageClass, Network, NetworkConfig, NodeId, PacketDescriptor, PacketId,
-};
+use catnap_repro::noc::{Flit, MeshDims, MessageClass, Network, NetworkConfig, NodeId, PacketDescriptor, PacketId};
 use catnap_repro::traffic::generator::PacketSink;
 
 fn run_all_pairs(cfg: NetworkConfig) {
@@ -53,20 +51,12 @@ fn minimal_two_node_mesh() {
 
 #[test]
 fn single_vc_network_still_delivers() {
-    run_all_pairs(
-        NetworkConfig::with_width(128)
-            .dims(MeshDims::new(3, 3))
-            .buffers(1, 4),
-    );
+    run_all_pairs(NetworkConfig::with_width(128).dims(MeshDims::new(3, 3)).buffers(1, 4));
 }
 
 #[test]
 fn deep_buffers_shallow_vcs() {
-    run_all_pairs(
-        NetworkConfig::with_width(256)
-            .dims(MeshDims::new(4, 4))
-            .buffers(2, 16),
-    );
+    run_all_pairs(NetworkConfig::with_width(256).dims(MeshDims::new(4, 4)).buffers(2, 16));
 }
 
 #[test]
@@ -76,7 +66,11 @@ fn protocol_classes_travel_on_disjoint_vcs() {
     let mut net = MultiNoc::new(MultiNocConfig::single_noc_512b());
     net.set_track_deliveries(true);
     for i in 0..20u64 {
-        let class = if i % 2 == 0 { MessageClass::Request } else { MessageClass::Response };
+        let class = if i % 2 == 0 {
+            MessageClass::Request
+        } else {
+            MessageClass::Response
+        };
         net.submit(PacketDescriptor {
             id: PacketId(i),
             src: NodeId(0),
@@ -103,10 +97,16 @@ fn protocol_classes_travel_on_disjoint_vcs() {
             allowed
         );
     }
-    let req_vcs: std::collections::HashSet<u8> =
-        tails.iter().filter(|t| t.class == MessageClass::Request).map(|t| t.vc).collect();
-    let rsp_vcs: std::collections::HashSet<u8> =
-        tails.iter().filter(|t| t.class == MessageClass::Response).map(|t| t.vc).collect();
+    let req_vcs: std::collections::HashSet<u8> = tails
+        .iter()
+        .filter(|t| t.class == MessageClass::Request)
+        .map(|t| t.vc)
+        .collect();
+    let rsp_vcs: std::collections::HashSet<u8> = tails
+        .iter()
+        .filter(|t| t.class == MessageClass::Response)
+        .map(|t| t.vc)
+        .collect();
     assert!(req_vcs.is_disjoint(&rsp_vcs), "req {req_vcs:?} vs rsp {rsp_vcs:?}");
 }
 

@@ -116,7 +116,11 @@ fn fast_forward_meets_throughput_floor() {
         eprintln!("perf smoke skipped (set CATNAP_PERF_SMOKE=1 to enable)");
         return;
     }
-    let floor = if cfg!(debug_assertions) { FLOOR_FF_DEBUG_CPS } else { FLOOR_FF_RELEASE_CPS };
+    let floor = if cfg!(debug_assertions) {
+        FLOOR_FF_DEBUG_CPS
+    } else {
+        FLOOR_FF_RELEASE_CPS
+    };
     // Untimed pass first so page faults, lazy init and CPU clocks settle.
     let _ = fastforward_cycles_per_sec(5_000);
     let cycles = if cfg!(debug_assertions) { 30_000 } else { 200_000 };
@@ -129,7 +133,10 @@ fn fast_forward_meets_throughput_floor() {
         floor,
         floor / 3.0
     );
-    assert!(skipped > cycles / 2, "light load must skip most cycles, skipped only {skipped}");
+    assert!(
+        skipped > cycles / 2,
+        "light load must skip most cycles, skipped only {skipped}"
+    );
     assert!(
         cps >= floor / 3.0,
         "fast-forward ran at {cps:.0} cycles/sec, more than 3x below the pinned floor of {floor:.0}"
@@ -192,16 +199,33 @@ fn gated_hot_loop_meets_throughput_floor() {
         eprintln!("perf smoke skipped (set CATNAP_PERF_SMOKE=1 to enable)");
         return;
     }
-    let floor = if cfg!(debug_assertions) { FLOOR_DEBUG_CPS } else { FLOOR_RELEASE_CPS };
+    let floor = if cfg!(debug_assertions) {
+        FLOOR_DEBUG_CPS
+    } else {
+        FLOOR_RELEASE_CPS
+    };
     // Untimed pass first so page faults, lazy init and CPU clocks settle.
     let _ = light_gated_cycles_per_sec(500, 2_000);
     let cps = light_gated_cycles_per_sec(1_000, 20_000);
-    println!("perf smoke: {:.0} cycles/sec (floor {:.0}, fail below {:.0})", cps, floor, floor / 3.0);
+    println!(
+        "perf smoke: {:.0} cycles/sec (floor {:.0}, fail below {:.0})",
+        cps,
+        floor,
+        floor / 3.0
+    );
     assert!(
         cps >= floor / 3.0,
         "gated hot loop ran at {cps:.0} cycles/sec, more than 3x below the pinned floor of {floor:.0}"
     );
 }
+
+/// Recording-sink slowdown ceiling. Measured ~1.26x on the reference
+/// container (`telemetry_recording_slowdown` in
+/// `bench_out/perf_throughput.json`); the ceiling sits at roughly
+/// double the measurement so machine noise passes but an accidental
+/// per-event scan or allocation storm fails. ROADMAP and DESIGN.md §10
+/// cite this constant — keep all three in sync when re-measuring.
+const CEILING_RECORDING_SLOWDOWN: f64 = 2.5;
 
 /// Telemetry overhead contract (DESIGN.md §10): the default `NopSink`
 /// build must be free. `Network::new` elaborates to `Network<NopSink>`
@@ -212,16 +236,19 @@ fn gated_hot_loop_meets_throughput_floor() {
 /// on top of that). This test asserts both halves in one process:
 ///
 /// 1. the `NopSink` path still meets the pre-telemetry floor, and
-/// 2. recording every event stays within a generous 10x of the no-op
-///    run — the bound exists to catch an accidental per-event scan or
-///    allocation storm, not to benchmark `Vec::push`.
+/// 2. recording every event stays under `CEILING_RECORDING_SLOWDOWN`
+///    relative to the no-op run.
 #[test]
 fn telemetry_noop_sink_meets_pre_telemetry_floor() {
     if std::env::var("CATNAP_PERF_SMOKE").map(|v| v != "1").unwrap_or(true) {
         eprintln!("perf smoke skipped (set CATNAP_PERF_SMOKE=1 to enable)");
         return;
     }
-    let floor = if cfg!(debug_assertions) { FLOOR_DEBUG_CPS } else { FLOOR_RELEASE_CPS };
+    let floor = if cfg!(debug_assertions) {
+        FLOOR_DEBUG_CPS
+    } else {
+        FLOOR_RELEASE_CPS
+    };
     let _ = light_gated_cycles_per_sec(500, 2_000);
     let noop = light_gated_cycles_per_sec_with(1_000, 20_000, NopSink);
     let recording = light_gated_cycles_per_sec_with(1_000, 20_000, RecordingSink::new());
@@ -237,8 +264,9 @@ fn telemetry_noop_sink_meets_pre_telemetry_floor() {
         "NopSink build ran at {noop:.0} cycles/sec, more than 3x below the pre-telemetry floor of {floor:.0}"
     );
     assert!(
-        recording >= noop / 10.0,
-        "recording sink slowed the loop {:.1}x (noop {noop:.0} vs recording {recording:.0} cycles/sec)",
+        recording >= noop / CEILING_RECORDING_SLOWDOWN,
+        "recording sink slowed the loop {:.2}x, above the {CEILING_RECORDING_SLOWDOWN}x ceiling \
+         (noop {noop:.0} vs recording {recording:.0} cycles/sec)",
         noop / recording
     );
 }

@@ -62,8 +62,7 @@ fn random_selector_spreads_too() {
 fn utilization_decays_after_burst() {
     let schedule = LoadSchedule::piecewise(vec![(0, 0.01), (1_000, 0.30), (1_500, 0.01)]);
     let mut net = MultiNoc::new(MultiNocConfig::catnap_4x128().gating(true));
-    let mut load =
-        SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule, 512, net.dims(), 22);
+    let mut load = SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule, 512, net.dims(), 22);
     // Through the burst.
     for _ in 0..1_500 {
         load.drive(&mut net);
@@ -114,7 +113,10 @@ fn rcs_propagates_congestion_across_region() {
     // Some node in region 0 other than the hotspot sees the regional bit
     // for subnet 0.
     let seen = net.dims().nodes().filter(|&n| net.rcs(0, n)).count();
-    assert!(seen >= 16, "hotspot congestion must raise RCS for whole regions, saw {seen}");
+    assert!(
+        seen >= 16,
+        "hotspot congestion must raise RCS for whole regions, saw {seen}"
+    );
 }
 
 #[test]
@@ -126,10 +128,9 @@ fn congestion_view_combines_local_and_regional() {
         net.step();
     }
     // At saturation, subnet 0 must look congested nearly everywhere.
-    let congested = net
-        .dims()
-        .nodes()
-        .filter(|&n| net.congestion_view(0, n))
-        .count();
-    assert!(congested > 48, "saturated subnet 0 congested at most nodes, got {congested}");
+    let congested = net.dims().nodes().filter(|&n| net.congestion_view(0, n)).count();
+    assert!(
+        congested > 48,
+        "saturated subnet 0 congested at most nodes, got {congested}"
+    );
 }

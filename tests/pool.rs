@@ -72,7 +72,10 @@ fn serial_fallback_parallelism_one() {
     assert_eq!(pool.parallelism(), 1);
     let current = std::thread::current().id();
     let ids = pool.run((0..4).map(|_| move || std::thread::current().id()).collect::<Vec<_>>());
-    assert!(ids.iter().all(|&id| id == current), "serial fallback must run on the caller");
+    assert!(
+        ids.iter().all(|&id| id == current),
+        "serial fallback must run on the caller"
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -57,10 +57,7 @@ fn dynamic_power_tracks_delivered_traffic() {
         ("ni", dl.ni, dh.ni),
     ] {
         let ratio = h / l;
-        assert!(
-            ratio > 3.5 && ratio < 6.5,
-            "{name}: 5x load gave {ratio:.2}x power"
-        );
+        assert!(ratio > 3.5 && ratio < 6.5, "{name}: 5x load gave {ratio:.2}x power");
     }
     // Clock is load-independent when nothing gates.
     assert!((dh.clock / dl.clock - 1.0).abs() < 0.01);
@@ -100,7 +97,10 @@ fn port_gated_static_between_ungated_and_router_gated_bounds() {
     );
     let s_off = off.power_report(tech).static_;
     let s_port = port.power_report(tech).static_;
-    assert!(s_port.total() < s_off.total(), "port gating must save something at low load");
+    assert!(
+        s_port.total() < s_off.total(),
+        "port gating must save something at low load"
+    );
     let floor = s_off.crossbar + s_off.control + s_off.clock + s_off.ni;
     assert!(
         s_port.total() >= floor - 1e-9,

@@ -45,7 +45,13 @@ fn recorded_trace_covers_every_event_kind() {
     // power, lcs, select, inject, eject must all appear in a gated run
     // at this load; rcs flips are load-dependent, so only require the
     // rest. (Index order matches `Event::KIND_NAMES`.)
-    for (i, name) in [(0, "power"), (1, "lcs"), (3, "select"), (4, "packet_inject"), (5, "packet_eject")] {
+    for (i, name) in [
+        (0, "power"),
+        (1, "lcs"),
+        (3, "select"),
+        (4, "packet_inject"),
+        (5, "packet_eject"),
+    ] {
         assert!(kinds[i] > 0, "no {name} events in a 400-cycle gated run");
     }
     // Streams are cycle-monotone — the exporters rely on it.
@@ -62,10 +68,7 @@ fn chrome_export_reparses_and_is_selfconsistent() {
     let json = chrome_trace(&t);
     let text = json.to_pretty_string();
     let reparsed = Json::parse(&text).expect("chrome trace must be valid JSON");
-    let events = reparsed
-        .get("traceEvents")
-        .and_then(Json::as_array)
-        .expect("traceEvents array");
+    let events = reparsed.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
     assert!(events.len() > t.num_events() / 2, "suspiciously few trace events");
     for ev in events {
         let ph = ev.get("ph").and_then(Json::as_str).expect("event ph");
@@ -100,7 +103,11 @@ fn csv_export_census_accounts_for_every_router() {
     for row in rows {
         let cols: Vec<u64> = row.split(',').map(|c| c.parse().expect("numeric cell")).collect();
         assert_eq!(cols.len(), 12);
-        assert_eq!(cols[2] + cols[3] + cols[4], nodes, "census must sum to the node count: {row}");
+        assert_eq!(
+            cols[2] + cols[3] + cols[4],
+            nodes,
+            "census must sum to the node count: {row}"
+        );
     }
 }
 
@@ -110,11 +117,7 @@ fn registry_from_trace_matches_event_counts() {
     let reg = Registry::from_trace(&t);
     let kinds = t.kind_counts();
     assert_eq!(reg.counter("events_packet_eject"), kinds[5]);
-    let ejects = t
-        .policy
-        .iter()
-        .filter(|e| matches!(e, Event::PacketEject { .. }))
-        .count() as u64;
+    let ejects = t.policy.iter().filter(|e| matches!(e, Event::PacketEject { .. })).count() as u64;
     let hist = reg.histogram("packet_latency_cycles").expect("latency histogram");
     assert_eq!(hist.count(), ejects);
     assert!(hist.mean() > 1.0, "packet latencies must be > 1 cycle");
