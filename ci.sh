@@ -13,8 +13,11 @@ cargo fmt --check
 echo "== build (release) =="
 cargo build --release --offline
 
-echo "== test =="
-cargo test -q --offline
+echo "== test (CATNAP_THREADS=1, strictly serial) =="
+CATNAP_THREADS=1 cargo test -q --offline
+
+echo "== test (CATNAP_THREADS=4, pooled subnets and shards) =="
+CATNAP_THREADS=4 cargo test -q --offline
 
 echo "== clippy (workspace, all targets, -D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

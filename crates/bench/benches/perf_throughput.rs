@@ -16,10 +16,14 @@
 //!   (NIs, selection, gating policy, detectors, OR networks), which
 //!   bounds the hot-loop gain by Amdahl's law.
 //! * **parallel subnets** — stepping the four subnets of 4NT-128b on
-//!   the thread pool versus `step_threads(1)` serial stepping. The
-//!   attainable speedup is bounded by the host's core count
-//!   (`host_parallelism` in the JSON); on a single-core host this
-//!   measures the pool's overhead, not a gain.
+//!   the auto-sized thread pool versus `step_threads(1)` serial
+//!   stepping. Auto sizing resolves to the serial loop on a
+//!   single-core host, so this ratio stays ~1.0 there and only climbs
+//!   where cores exist (`host_parallelism` in the JSON).
+//! * **shard scaling** — the `shard_scaling` array: the same busy
+//!   gated workload at forced thread/shard counts 1, 2 and 4, so the
+//!   spatial-sharding trajectory is tracked per thread count even on
+//!   hosts where the attainable speedup is 1.0.
 
 use catnap::{MultiNoc, MultiNocConfig, SelectorKind};
 use catnap_bench::{emit_json, print_banner, Table};
@@ -50,6 +54,21 @@ catnap_util::impl_to_json_struct!(Scenario {
     packets_delivered,
 });
 
+/// One point of the thread-scaling series: the busy gated workload at
+/// a forced thread/shard count.
+#[derive(Clone, Debug)]
+struct ShardScaling {
+    threads: u64,
+    cycles_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+catnap_util::impl_to_json_struct!(ShardScaling {
+    threads,
+    cycles_per_sec,
+    speedup_vs_serial,
+});
+
 /// The whole report written to `bench_out/perf_throughput.json`.
 #[derive(Clone, Debug)]
 struct PerfThroughput {
@@ -59,6 +78,7 @@ struct PerfThroughput {
     parallel_subnet_speedup: f64,
     telemetry_recording_slowdown: f64,
     telemetry_events_recorded: u64,
+    shard_scaling: Vec<ShardScaling>,
     scenarios: Vec<Scenario>,
 }
 
@@ -69,6 +89,7 @@ catnap_util::impl_to_json_struct!(PerfThroughput {
     parallel_subnet_speedup,
     telemetry_recording_slowdown,
     telemetry_events_recorded,
+    shard_scaling,
     scenarios,
 });
 
@@ -250,19 +271,69 @@ fn main() {
     // --- Parallel-subnet speedup: all four subnets busy ---
     // Round-robin selection at a moderate load keeps every subnet
     // carrying traffic, so there is real per-subnet work to overlap.
-    let busy = |threads: usize| {
-        MultiNocConfig::catnap_4x128()
-            .selector(SelectorKind::RoundRobin)
-            .seed(7)
-            .step_threads(threads)
+    // The parallel leg uses auto sizing: on a single-core host that is
+    // the plain serial loop (ratio ~1.0, no pool overhead to pay); on a
+    // multi-core host it is the pool at the machine's parallelism.
+    let busy = |threads: Option<usize>| {
+        let cfg = MultiNocConfig::catnap_4x128().selector(SelectorKind::RoundRobin).seed(7);
+        match threads {
+            Some(t) => cfg.step_threads(t).shard_threads(t),
+            None => cfg,
+        }
     };
-    let serial = run_timed("busy_4subnet_serial", busy(1), 0.20, 500, 6_000, false);
-    let parallel = run_timed("busy_4subnet_parallel", busy(4), 0.20, 500, 6_000, false);
+    // Interleaved best-of-three per leg: host jitter over a ~0.3s
+    // window exceeds the difference being measured on a single-core
+    // container, so alternating runs charge drift to both legs evenly.
+    let mut serial = run_timed("busy_4subnet_serial", busy(Some(1)), 0.20, 500, 6_000, false);
+    let mut parallel = run_timed("busy_4subnet_parallel", busy(None), 0.20, 500, 6_000, false);
+    for _ in 0..2 {
+        let s2 = run_timed("busy_4subnet_serial", busy(Some(1)), 0.20, 500, 6_000, false);
+        if s2.cycles_per_sec > serial.cycles_per_sec {
+            serial = s2;
+        }
+        let p2 = run_timed("busy_4subnet_parallel", busy(None), 0.20, 500, 6_000, false);
+        if p2.cycles_per_sec > parallel.cycles_per_sec {
+            parallel = p2;
+        }
+    }
     assert_eq!(
         serial.packets_delivered, parallel.packets_delivered,
         "parallel subnet stepping must be bit-identical to serial"
     );
     let parallel_subnet_speedup = parallel.cycles_per_sec / serial.cycles_per_sec;
+
+    // --- Shard scaling: busy gated traffic at forced thread counts ---
+    // Gating keeps run sets irregular (the hard case for static
+    // chunking); each point forces both the lane count and the spatial
+    // shard count so the series is comparable across hosts.
+    let busy_gated = |threads: usize| busy(Some(threads)).gating(true);
+    let mut shard_scaling = Vec::new();
+    let mut base_cps = 0.0;
+    let mut base_pkts = 0;
+    for threads in [1usize, 2, 4] {
+        let point = run_timed(
+            &format!("busy_gated_shards_t{threads}"),
+            busy_gated(threads),
+            0.20,
+            500,
+            6_000,
+            false,
+        );
+        if threads == 1 {
+            base_cps = point.cycles_per_sec;
+            base_pkts = point.packets_delivered;
+        } else {
+            assert_eq!(
+                base_pkts, point.packets_delivered,
+                "sharded stepping must be bit-identical at {threads} threads"
+            );
+        }
+        shard_scaling.push(ShardScaling {
+            threads: threads as u64,
+            cycles_per_sec: point.cycles_per_sec,
+            speedup_vs_serial: point.cycles_per_sec / base_cps,
+        });
+    }
 
     // --- Telemetry overhead: recording sinks vs the NopSink default ---
     // `MultiNoc::new` elaborates to `MultiNoc<NopSink>`, so the
@@ -293,6 +364,12 @@ fn main() {
     println!("worklist speedup:         {worklist_speedup:.2}x (hot loop, target >= 3x)");
     println!("e2e light-gated speedup:  {e2e_light_gated_speedup:.2}x (Amdahl-bounded)");
     println!("parallel subnet speedup:  {parallel_subnet_speedup:.2}x (bounded by host cores)");
+    for p in &shard_scaling {
+        println!(
+            "shard scaling t={}:        {:.2}x vs single-thread",
+            p.threads, p.speedup_vs_serial
+        );
+    }
     println!(
         "telemetry recording cost: {telemetry_recording_slowdown:.2}x slowdown \
          ({telemetry_events_recorded} events; NopSink default pays none of it)"
@@ -305,6 +382,7 @@ fn main() {
         parallel_subnet_speedup,
         telemetry_recording_slowdown,
         telemetry_events_recorded,
+        shard_scaling,
         scenarios,
     };
     emit_json("perf_throughput", &report);

@@ -8,6 +8,7 @@ use catnap_telemetry::{RecordingSink, Trace};
 use catnap_traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload, WorkloadMix};
 use catnap_util::pool::{effective_parallelism, ThreadPool};
 use catnap_util::{impl_from_json_struct, impl_to_json_struct};
+use std::sync::Arc;
 
 /// One point of a synthetic-traffic measurement.
 #[derive(Clone, Debug)]
@@ -65,9 +66,30 @@ pub fn run_synthetic(
     measure: u64,
     seed: u64,
 ) -> SweepPoint {
+    run_synthetic_on(cfg, pattern, offered, packet_bits, warmup, measure, seed, None)
+}
+
+/// [`run_synthetic`] on a caller-provided shared pool (`None` = let the
+/// instance size its own parallelism). Sweeps pass the pool their own
+/// points run on, so a point's subnet and shard steps become nested
+/// jobs that idle sweep lanes steal. Bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_on(
+    cfg: MultiNocConfig,
+    pattern: SyntheticPattern,
+    offered: f64,
+    packet_bits: u32,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+    pool: Option<Arc<ThreadPool>>,
+) -> SweepPoint {
     let name = cfg.name.clone();
     let tech = TechParams::catnap_32nm();
-    let mut net = MultiNoc::new(cfg);
+    let mut net = match pool {
+        Some(p) => MultiNoc::with_shared_pool(cfg, p),
+        None => MultiNoc::new(cfg),
+    };
     let mut load = SyntheticWorkload::new(pattern, offered, packet_bits, net.dims(), seed);
     for _ in 0..warmup {
         load.drive(&mut net);
@@ -141,15 +163,19 @@ pub fn latency_sweep(
         let mut cache = SimCache::from_env_or("catnap-cache").expect("CATNAP_CACHE_DIR must be a writable directory");
         return latency_sweep_cached(&mut cache, cfg, pattern, loads, packet_bits, warmup, measure, seed);
     }
-    // Each worker runs one whole simulation; nested subnet-parallelism
-    // inside a point would only oversubscribe the machine.
-    let point_cfg = cfg.clone().step_threads(1);
-    let pool = ThreadPool::new(effective_parallelism(loads.len()));
+    // One work-stealing pool serves the whole sweep: each point is a
+    // job, and a point's own subnet and shard steps are nested jobs on
+    // the same pool — so lanes idled by the sweep's tail steal shard
+    // work from the stragglers instead of going to sleep. No
+    // oversubscription: the lane count is fixed regardless of nesting.
+    let pool = Arc::new(ThreadPool::new(effective_parallelism(loads.len())));
+    let point_cfg = cfg.clone();
     let jobs: Vec<_> = loads
         .iter()
         .map(|&l| {
             let cfg = point_cfg.clone();
-            move || run_synthetic(cfg, pattern, l, packet_bits, warmup, measure, seed)
+            let pool = Arc::clone(&pool);
+            move || run_synthetic_on(cfg, pattern, l, packet_bits, warmup, measure, seed, Some(pool))
         })
         .collect();
     pool.run(jobs)

@@ -35,8 +35,8 @@ pub const CHECKPOINT_VERSION: u32 = 1;
 
 /// Stable fingerprint of a resolved configuration: equal fingerprints
 /// guarantee two configs drive bit-identical simulations (every field
-/// that influences results is hashed; `step_threads`, which provably
-/// does not, is excluded). Used both to guard checkpoint resume and as
+/// that influences results is hashed; `step_threads` and
+/// `shard_threads`, which provably do not, are excluded). Used both to guard checkpoint resume and as
 /// the basis of result-cache keys.
 pub fn config_fingerprint(cfg: &MultiNocConfig) -> u64 {
     let mut h = Fnv64::new();
@@ -159,13 +159,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fingerprint_ignores_step_threads_only() {
+    fn fingerprint_ignores_scheduling_knobs_only() {
         let base = MultiNocConfig::catnap_4x128().gating(true);
         let fp = config_fingerprint(&base);
         assert_eq!(
             fp,
             config_fingerprint(&base.clone().step_threads(1)),
             "thread count must not change the key"
+        );
+        assert_eq!(
+            fp,
+            config_fingerprint(&base.clone().shard_threads(8)),
+            "shard count must not change the key"
         );
         assert_ne!(fp, config_fingerprint(&base.clone().seed(1)));
         assert_ne!(fp, config_fingerprint(&base.clone().rcs_period(7)));

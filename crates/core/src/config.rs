@@ -80,6 +80,12 @@ pub struct MultiNocConfig {
     /// stepping. Results are bit-identical regardless — the subnets only
     /// interact through the NIs at cycle boundaries.
     pub step_threads: Option<usize>,
+    /// Spatial shards per subnet mesh when a subnet steps on the pool.
+    /// `None` matches the pool's lane count; `Some(1)` disables spatial
+    /// sharding (subnet-level parallelism only). Like `step_threads`,
+    /// this is a pure scheduling knob: results are bit-identical at any
+    /// shard count, so it is excluded from the config fingerprint.
+    pub shard_threads: Option<usize>,
 }
 
 impl MultiNocConfig {
@@ -107,6 +113,7 @@ impl MultiNocConfig {
             freq_hz: 2.0e9,
             seed: 0xCA7,
             step_threads: None,
+            shard_threads: None,
         }
     }
 
@@ -225,6 +232,13 @@ impl MultiNocConfig {
         self
     }
 
+    /// Builder-style: pins the spatial shards per subnet mesh (`1` =
+    /// no spatial sharding; see [`MultiNocConfig::shard_threads`]).
+    pub fn shard_threads(mut self, shards: usize) -> Self {
+        self.shard_threads = Some(shards);
+        self
+    }
+
     /// Builder-style: renames the configuration.
     pub fn named(mut self, name: &str) -> Self {
         self.name = name.to_string();
@@ -273,6 +287,9 @@ impl MultiNocConfig {
         }
         if self.step_threads == Some(0) {
             return Err("step_threads must be at least 1".into());
+        }
+        if self.shard_threads == Some(0) {
+            return Err("shard_threads must be at least 1".into());
         }
         Ok(())
     }

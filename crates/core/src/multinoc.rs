@@ -15,6 +15,14 @@ use catnap_telemetry::{Event, NopSink, Sink, SinkScope, Trace, TraceMeta};
 use catnap_traffic::generator::{PacketSink, TrafficSource};
 use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 use catnap_util::pool::{effective_parallelism, ThreadPool};
+use std::sync::Arc;
+
+/// Crossover for dispatching a subnet's step to the pool: below this
+/// many non-drained routers the scheduled serial step is cheaper than a
+/// pool hand-off (condvar wake plus a steal handshake), so the subnet
+/// steps inline on the caller. Purely a scheduling threshold —
+/// bit-identity is unconditional.
+const SUBNET_DISPATCH_MIN: usize = 8;
 
 /// A multiple network-on-chip with Catnap policies.
 ///
@@ -62,8 +70,14 @@ pub struct MultiNoc<S: Sink = NopSink> {
     /// Per-subnet count of set local-congestion bits (`lcs[s]`), so the
     /// detector and OR-network elisions can test "all clear" in O(1).
     lcs_set: Vec<usize>,
-    /// Pool stepping the subnets in parallel; `None` = strictly serial.
-    pool: Option<ThreadPool>,
+    /// Pool stepping the subnets (and their spatial shards) in
+    /// parallel; `None` = strictly serial. Shared across instances when
+    /// built via [`MultiNoc::with_shared_pool`].
+    pool: Option<Arc<ThreadPool>>,
+    /// Spatial shards per subnet mesh when a busy subnet steps on the
+    /// pool (resolved from `shard_threads`, defaulting to the lane
+    /// count). Purely a scheduling knob — bit-identical at any value.
+    shards: usize,
     /// Reusable buffer for per-subnet ejection drains (no per-cycle
     /// allocation).
     eject_buf: Vec<(NodeId, Flit)>,
@@ -95,6 +109,19 @@ impl MultiNoc {
     pub fn new(cfg: MultiNocConfig) -> Self {
         MultiNoc::with_sinks(cfg, |_| NopSink)
     }
+
+    /// Builds a Multi-NoC stepping on a caller-provided pool instead of
+    /// spawning its own — lets a sweep share one set of worker threads
+    /// across many short-lived instances. The pool is the parallelism
+    /// authority here: `step_threads` is ignored (a serial pool means
+    /// the plain serial loop). Results are bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_shared_pool(cfg: MultiNocConfig, pool: Arc<ThreadPool>) -> Self {
+        MultiNoc::with_sinks_on(cfg, |_| NopSink, Some(pool))
+    }
 }
 
 impl<S: Sink> MultiNoc<S> {
@@ -110,7 +137,17 @@ impl<S: Sink> MultiNoc<S> {
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
-    pub fn with_sinks(cfg: MultiNocConfig, mut sinks: impl FnMut(SinkScope) -> S) -> Self {
+    pub fn with_sinks(cfg: MultiNocConfig, sinks: impl FnMut(SinkScope) -> S) -> Self {
+        Self::with_sinks_on(cfg, sinks, None)
+    }
+
+    /// [`MultiNoc::with_sinks`] with an optional caller-provided pool
+    /// (see [`MultiNoc::with_shared_pool`]).
+    pub fn with_sinks_on(
+        cfg: MultiNocConfig,
+        mut sinks: impl FnMut(SinkScope) -> S,
+        shared_pool: Option<Arc<ThreadPool>>,
+    ) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid MultiNoc configuration: {e}");
         }
@@ -136,12 +173,28 @@ impl<S: Sink> MultiNoc<S> {
             SelectorKind::CatnapPriority => Box::new(CatnapPriority::new(nodes)),
         };
         // Subnets only interact through the NIs between steps, so they
-        // can advance concurrently with bit-identical results. One lane
+        // can advance concurrently with bit-identical results; within a
+        // busy subnet, phase 2 additionally splits into spatial shards
+        // on the same pool (`Network::step_sharded`). One lane
         // (explicit `step_threads(1)`, CATNAP_THREADS=1, a single-core
-        // machine, or a single subnet) means no pool at all: the plain
-        // serial loop.
-        let lanes = cfg.step_threads.unwrap_or_else(|| effective_parallelism(k)).min(k);
-        let pool = (lanes > 1).then(|| ThreadPool::new(lanes));
+        // machine) means no pool at all: the plain serial loop. Lanes
+        // beyond the subnet count are useful now that shards also feed
+        // the pool, so auto sizing caps at `subnets x rows` (the
+        // finest spatial split) rather than at the subnet count, and an
+        // explicit `step_threads` is honored verbatim.
+        let max_useful = k * usize::from(cfg.dims.rows.max(1));
+        let pool = match shared_pool {
+            Some(p) if p.parallelism() > 1 => Some(p),
+            Some(_) => None,
+            None => {
+                let lanes = cfg.step_threads.unwrap_or_else(|| effective_parallelism(max_useful));
+                (lanes > 1).then(|| Arc::new(ThreadPool::new(lanes)))
+            }
+        };
+        let shards = cfg
+            .shard_threads
+            .unwrap_or_else(|| pool.as_ref().map_or(1, |p| p.parallelism()))
+            .max(1);
         MultiNoc {
             subnets,
             nis,
@@ -164,6 +217,7 @@ impl<S: Sink> MultiNoc<S> {
             busy_nis: Vec::new(),
             lcs_set: vec![0; k],
             pool,
+            shards,
             eject_buf: Vec::new(),
             congested_buf: Vec::with_capacity(k),
             trackers: vec![QuiescenceTracker::new(); k],
@@ -197,7 +251,7 @@ impl<S: Sink> MultiNoc<S> {
 
     /// Lanes used to step the subnets (1 = serial).
     pub fn step_parallelism(&self) -> usize {
-        self.pool.as_ref().map_or(1, ThreadPool::parallelism)
+        self.pool.as_ref().map_or(1, |p| p.parallelism())
     }
 
     /// Disables (or re-enables) *every* cycle-skipping shortcut: the
@@ -359,7 +413,29 @@ impl<S: Sink> MultiNoc<S> {
         // detectors, OR networks) happens serially around this point.
         match &self.pool {
             Some(pool) => {
-                pool.run(self.subnets.iter_mut().map(|net| move || net.step()).collect());
+                // Crossover dispatch: a subnet with next to no phase-2
+                // work (its routers all but drained) steps inline — a
+                // pool hand-off costs more than the step itself — while
+                // busy subnets go to the pool, each further splitting
+                // into spatial shards that idle lanes steal. Both paths
+                // are bit-identical, so the split is pure scheduling.
+                let shards = self.shards;
+                let pool_ref: &ThreadPool = pool;
+                let jobs: Vec<_> = self
+                    .subnets
+                    .iter_mut()
+                    .filter_map(|net| {
+                        if net.busy_routers() < SUBNET_DISPATCH_MIN {
+                            net.step();
+                            None
+                        } else {
+                            Some(move || net.step_sharded(pool_ref, shards))
+                        }
+                    })
+                    .collect();
+                if !jobs.is_empty() {
+                    pool_ref.run(jobs);
+                }
             }
             None => {
                 for net in &mut self.subnets {

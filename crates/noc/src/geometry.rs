@@ -242,6 +242,25 @@ impl MeshDims {
     pub fn nodes(self) -> impl Iterator<Item = NodeId> {
         (0..self.num_nodes() as u16).map(NodeId)
     }
+
+    /// Partitions the mesh into up to `shards` horizontal bands of whole
+    /// rows, balanced to within one row. Node ids are row-major, so each
+    /// band is a **contiguous router-index range** — the unit of work the
+    /// sharded stepper hands to one pool lane. More shards than rows
+    /// collapses to one band per row; `shards == 0` is treated as 1.
+    /// Ranges are non-empty, sorted, and cover `0..num_nodes` exactly.
+    pub fn row_bands(self, shards: usize) -> Vec<std::ops::Range<usize>> {
+        let rows = self.rows as usize;
+        let nb = shards.clamp(1, rows);
+        let cols = self.cols as usize;
+        (0..nb)
+            .map(|b| {
+                let r0 = b * rows / nb;
+                let r1 = (b + 1) * rows / nb;
+                (r0 * cols)..(r1 * cols)
+            })
+            .collect()
+    }
 }
 
 /// Identifier of a region of the mesh (used by the regional congestion
@@ -361,6 +380,31 @@ mod tests {
     #[should_panic]
     fn zero_dims_panic() {
         MeshDims::new(0, 4);
+    }
+
+    #[test]
+    fn row_bands_cover_exactly_and_balance() {
+        for (cols, rows) in [(8u16, 8u16), (4, 4), (3, 5), (16, 2), (1, 1)] {
+            let m = MeshDims::new(cols, rows);
+            for shards in [0usize, 1, 2, 3, 4, 7, 8, 64] {
+                let bands = m.row_bands(shards);
+                assert!(!bands.is_empty());
+                assert!(bands.len() <= shards.max(1).min(rows as usize));
+                // Contiguous cover of 0..num_nodes, whole rows only.
+                let mut next = 0usize;
+                for band in &bands {
+                    assert_eq!(band.start, next, "bands are contiguous");
+                    assert!(band.end > band.start, "bands are non-empty");
+                    assert_eq!(band.len() % cols as usize, 0, "bands hold whole rows");
+                    next = band.end;
+                }
+                assert_eq!(next, m.num_nodes());
+                // Balanced to within one row.
+                let rows_per: Vec<usize> = bands.iter().map(|b| b.len() / cols as usize).collect();
+                let (min, max) = (rows_per.iter().min().unwrap(), rows_per.iter().max().unwrap());
+                assert!(max - min <= 1, "row balance within one: {rows_per:?}");
+            }
+        }
     }
 
     #[test]

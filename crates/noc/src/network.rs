@@ -14,6 +14,8 @@ use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+mod sharded;
+
 /// A single physical network-on-chip (one subnet of a Multi-NoC).
 ///
 /// The network advances in discrete cycles via [`Network::step`]. Flits are
@@ -106,6 +108,10 @@ pub struct Network<S: Sink = NopSink> {
     /// loop reads the routers directly, and releasing the escape hatch
     /// recomputes the cache (`reseed_scheduler`).
     active_mask: Vec<u8>,
+    /// Reusable buffers and engagement census of the spatially sharded
+    /// phase-2 sweep ([`Network::step_sharded`]). Never serialized:
+    /// purely scratch plus diagnostics, bit-invisible to results.
+    shard: sharded::ShardRuntime,
     /// Telemetry sink; [`NopSink`] by default, which erases every
     /// instrumentation point at monomorphization.
     sink: S,
@@ -247,6 +253,7 @@ impl<S: Sink> Network<S> {
             nondrained: 0,
             sched: SchedStats::default(),
             active_mask,
+            shard: sharded::ShardRuntime::default(),
             sink,
             power_shadow: if S::ENABLED {
                 vec![PowerPhase::Active; n]
@@ -701,8 +708,17 @@ impl<S: Sink> Network<S> {
 
     /// One cycle of the event scheduler.
     fn step_scheduled(&mut self) {
+        let todo = self.begin_scheduled_cycle();
+        self.finish_scheduled_phase2(todo);
+    }
+
+    /// Run-set collection and phase 1 of a scheduled cycle (everything
+    /// before routers tick). Returns the phase-2 run set; the caller
+    /// finishes the cycle with [`Network::finish_scheduled_phase2`] or
+    /// the sharded sweep. Serial by construction: deliveries and their
+    /// wake pings mutate routers across the whole mesh.
+    fn begin_scheduled_cycle(&mut self) -> BinaryHeap<Reverse<u32>> {
         let cycle = self.cycle;
-        let n = self.cfg.dims.num_nodes();
 
         // Collect this cycle's run set: routers marked by the previous
         // step, plus wakeup-queue entries coming due. Entries whose
@@ -763,8 +779,15 @@ impl<S: Sink> Network<S> {
         }
         credits.clear();
         self.staged_credits = credits;
+        todo
+    }
 
-        // Phase 2: run the hot set in index order. Mid-iteration wake
+    /// Phase 2 of a scheduled cycle, serial reference form: run the hot
+    /// set in ascending index order on the calling thread.
+    fn finish_scheduled_phase2(&mut self, mut todo: BinaryHeap<Reverse<u32>>) {
+        let cycle = self.cycle;
+        let n = self.cfg.dims.num_nodes();
+        // Run the hot set in index order. Mid-iteration wake
         // requests may insert indices ahead of the iteration point; the
         // heap keeps the order. When the hot set covers a large part of
         // the mesh (saturated subnet), a dense ascending index scan
@@ -1056,6 +1079,15 @@ impl<S: Sink> Network<S> {
     /// matters.
     pub fn all_drained(&self) -> bool {
         !self.force_full_step && self.nondrained == 0
+    }
+
+    /// Number of routers currently holding flits (the scheduler's
+    /// non-drained census). O(1); a cheap upper-bound estimate of how
+    /// much phase-2 work the next step will do. The multi-NoC layer
+    /// compares it against a crossover threshold to decide whether
+    /// stepping this subnet is worth a thread-pool dispatch.
+    pub fn busy_routers(&self) -> usize {
+        self.nondrained
     }
 
     /// Sum of router activity counters across the network.

@@ -49,7 +49,11 @@ use std::net::TcpListener;
 /// `tornado`, `neighbor`, or `hotspot` with `hotspot` node index and
 /// optional `hotspot_per_mille`), either `rate` (constant load) or
 /// `schedule` (`[[from_cycle, rate], …]`), `packet_bits` (default 512),
-/// `warmup`, `measure`, and `seed` (default 7).
+/// `warmup`, `measure`, `seed` (default 7), and `threads` (worker
+/// lanes for stepping the job's subnets and mesh shards; default 1 =
+/// serial, so concurrent jobs never oversubscribe the host unless
+/// asked to). Thread count is a pure scheduling knob — results and
+/// cache keys are bit-identical at any value.
 ///
 /// # Errors
 ///
@@ -68,7 +72,11 @@ pub fn parse_job(j: &Json) -> Result<SimJob, String> {
         None => true,
         Some(v) => v.as_bool().ok_or("'gating' must be a bool")?,
     };
-    let cfg = cfg.gating(gating).step_threads(1);
+    let threads = match j.get("threads") {
+        None => 1,
+        Some(v) => v.as_u64().filter(|&t| t >= 1).ok_or("'threads' must be an integer >= 1")? as usize,
+    };
+    let cfg = cfg.gating(gating).step_threads(threads).shard_threads(threads);
     let nodes = cfg.dims.num_nodes() as u16;
 
     let pattern = match j.get("pattern").and_then(Json::as_str).unwrap_or("uniform-random") {

@@ -1,0 +1,359 @@
+//! A bounded Chase–Lev work-stealing deque over `std` atomics, keeping
+//! the workspace's hermetic zero-dependency policy.
+//!
+//! One thread owns the [`Worker`] end and pushes/pops at the *bottom* in
+//! LIFO order (hot cache, no contention in the common case); any number
+//! of other threads hold [`Stealer`] clones and take from the *top* in
+//! FIFO order. The only synchronised point is the race for the last
+//! element, resolved by a compare-and-swap on `top`.
+//!
+//! The deque is **bounded**: [`Worker::push`] hands the value back as
+//! `Err` when the ring is full instead of growing (the classic dynamic
+//! Chase–Lev array swap needs deferred reclamation, which `std` alone
+//! cannot express safely). Callers overflow into a shared injector queue
+//! — exactly what [`crate::pool`] does.
+//!
+//! The memory-ordering protocol follows Chase & Lev, "Dynamic Circular
+//! Work-Stealing Deque" (SPAA '05) as corrected for weak memory models
+//! by Lê et al. (PPoPP '13): the owner's `pop` publishes its claimed
+//! `bottom` with a `SeqCst` fence before re-reading `top`, and stealers
+//! fence between reading `top` and `bottom`, so owner and thief can
+//! never both keep the same slot.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, Ordering};
+use std::sync::Arc;
+
+/// Result of a [`Stealer::steal`] attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another stealer; retrying may
+    /// succeed.
+    Retry,
+    /// Took one element from the top.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Unwraps `Success`, mapping `Empty`/`Retry` to `None`.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Inner<T> {
+    /// Next index stolen from. Monotonically increasing.
+    top: AtomicIsize,
+    /// Next index the owner pushes at. Only the owner writes it.
+    bottom: AtomicIsize,
+    /// Ring storage; capacity is a power of two, `mask = capacity - 1`.
+    mask: isize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: the protocol guarantees a slot is read by exactly one thread
+// (the CAS on `top` arbitrates), so sharing `Inner` across threads only
+// ever moves `T` values, never aliases them. `T: Send` is all we need.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    /// # Safety
+    /// The caller must hold exclusive logical ownership of index `i`
+    /// (owner between push and pop, or a stealer that will CAS-claim it).
+    unsafe fn slot(&self, i: isize) -> *mut MaybeUninit<T> {
+        self.slots[(i & self.mask) as usize].get()
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Unique access: drop everything still enqueued.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        for i in t..b {
+            // SAFETY: indices in [top, bottom) hold initialised values
+            // nobody else can reach any more.
+            unsafe { (*self.slot(i)).assume_init_drop() };
+        }
+    }
+}
+
+/// The owner end of the deque: push and pop at the bottom. Not `Sync` —
+/// exactly one thread may use it.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// A thief end of the deque: take from the top. Cloneable and shareable.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Creates a deque holding at most `capacity` elements (rounded up to a
+/// power of two, minimum 2).
+pub fn deque<T>(capacity: usize) -> (Worker<T>, Stealer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        mask: cap as isize - 1,
+        slots,
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T> Worker<T> {
+    /// Pushes at the bottom. Returns the value back when the ring is
+    /// full (the caller overflows elsewhere; nothing was enqueued).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        if b - t > inner.mask {
+            return Err(value);
+        }
+        // SAFETY: slot `b` is outside [top, bottom), so no stealer can
+        // touch it until the Release store below publishes it.
+        unsafe { (*inner.slot(b)).write(value) };
+        inner.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pops from the bottom (LIFO). `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: we claimed index `b` by publishing the decremented
+        // bottom before the fence; a stealer targeting `b` must win the
+        // CAS below to keep it.
+        let value = unsafe { (*inner.slot(b)).assume_init_read() };
+        if t == b {
+            // Last element: race the stealers for it via `top`.
+            let won = inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                // A stealer took it; it owns the value now.
+                std::mem::forget(value);
+                return None;
+            }
+        }
+        Some(value)
+    }
+
+    /// Number of enqueued elements as seen by the owner.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque is empty as seen by the owner.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to take one element from the top (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // SAFETY: speculative read; the CAS below decides whether we
+        // keep the value. On failure we forget the copy untouched.
+        let value = unsafe { (*inner.slot(t)).assume_init_read() };
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            std::mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+
+    /// Whether the deque appears empty (racy; for back-off heuristics).
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        t >= b
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stealer").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let (w, s) = deque::<u32>(8);
+        for i in 0..4 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(s.steal(), Steal::Success(0), "stealers take the oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn push_reports_full_ring() {
+        let (w, _s) = deque::<u32>(2);
+        w.push(1).unwrap();
+        w.push(2).unwrap();
+        assert_eq!(w.push(3), Err(3));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop(), Some(2));
+        w.push(3).unwrap();
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (w, _s) = deque::<u8>(5);
+        for i in 0..8 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(w.push(8), Err(8));
+    }
+
+    #[test]
+    fn drop_releases_undequeued_elements() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (w, s) = deque::<D>(8);
+        for _ in 0..5 {
+            w.push(D).unwrap();
+        }
+        drop(w.pop()); // 1 drop
+        drop(s.steal().success()); // 1 drop
+        drop(w);
+        drop(s); // remaining 3 dropped with the ring
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn concurrent_steal_loses_nothing() {
+        const PER_ROUND: usize = 128;
+        const ROUNDS: usize = 64;
+        let (w, s) = deque::<usize>(PER_ROUND * 2);
+        let taken = AtomicUsize::new(0);
+        let stop = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let s = s.clone();
+                let taken = &taken;
+                let stop = &stop;
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(_) => {
+                            taken.fetch_add(1, Ordering::SeqCst);
+                        }
+                        _ => {
+                            if stop.load(Ordering::SeqCst) == 1 && s.is_empty() {
+                                return;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            for r in 0..ROUNDS {
+                for i in 0..PER_ROUND {
+                    let mut v = r * PER_ROUND + i;
+                    // Spin until the ring has room (stealers drain it).
+                    loop {
+                        match w.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+                // Owner pops about half of each round itself.
+                for _ in 0..PER_ROUND / 2 {
+                    if w.pop().is_some() {
+                        taken.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            while w.pop().is_some() {
+                taken.fetch_add(1, Ordering::SeqCst);
+            }
+            stop.store(1, Ordering::SeqCst);
+        });
+        // Stragglers the stealers grabbed after the owner's final drain.
+        assert_eq!(
+            taken.load(Ordering::SeqCst),
+            PER_ROUND * ROUNDS,
+            "every element taken exactly once"
+        );
+    }
+}

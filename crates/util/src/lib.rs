@@ -17,9 +17,11 @@
 //! * [`check`] — a mini property-testing runner: N seeded cases over
 //!   `SimRng`-driven generators, failing-seed reporting, and
 //!   shrink-by-halving.
-//! * [`pool`] — a scoped thread pool with persistent workers,
-//!   deterministic result ordering, and a serial fallback, used to step
-//!   independent subnets and fan out benchmark sweep points.
+//! * [`pool`] — a scoped work-stealing thread pool with persistent
+//!   workers, deterministic result ordering, and a serial fallback, used
+//!   to step subnet shards and fan out benchmark sweep points.
+//! * [`deque`] — the bounded Chase–Lev work-stealing deque the pool's
+//!   workers balance load with.
 //! * [`codec`] — the checkpoint binary format: little-endian
 //!   [`ByteWriter`](codec::ByteWriter)/[`ByteReader`](codec::ByteReader)
 //!   primitives, an incremental FNV-1a hasher, and the versioned
@@ -27,6 +29,7 @@
 
 pub mod check;
 pub mod codec;
+pub mod deque;
 pub mod json;
 pub mod pool;
 pub mod rng;

@@ -1,5 +1,5 @@
-//! A scoped thread pool built on `std` only, keeping the workspace's
-//! hermetic zero-dependency policy.
+//! A scoped work-stealing thread pool built on `std` only, keeping the
+//! workspace's hermetic zero-dependency policy.
 //!
 //! The pool runs batches of closures that may borrow from the caller's
 //! stack (like `std::thread::scope`, but with persistent workers so the
@@ -7,25 +7,42 @@
 //! creation). [`ThreadPool::run`] returns results **in job-submission
 //! order** regardless of which worker finished first, so parallel fan-out
 //! is deterministic for the caller. The submitting thread participates in
-//! draining the queue, which means a pool built with parallelism 1 (or
+//! draining the work, which means a pool built with parallelism 1 (or
 //! the `CATNAP_THREADS=1` serial fallback) executes every job inline, in
 //! order, on the caller — the exact serial semantics, through the same
 //! code path.
+//!
+//! Scheduling is work-stealing, not static chunking: each worker owns a
+//! bounded [`crate::deque`] Chase–Lev deque and idle workers steal from
+//! busy ones, so one long job on a lane does not strand the short jobs
+//! queued behind it. External submitters feed a shared FIFO injector;
+//! **pool workers may call [`ThreadPool::run`] re-entrantly** — nested
+//! batches go to the worker's own deque (popped LIFO, so the innermost
+//! batch drains first) and are stealable by idle peers. This is what
+//! lets subnet-stepping jobs fan out into per-shard jobs on the same
+//! pool without a second thread team.
 //!
 //! Worker panics are caught, the batch still completes, and the first
 //! panic payload is re-raised on the submitting thread; the pool remains
 //! usable afterwards.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::deque::{self, Steal};
+
 /// Name of the environment variable overriding worker parallelism
 /// (`1` forces the serial path; unset or unparsable falls back to the
 /// caller's default, typically [`std::thread::available_parallelism`]).
 pub const THREADS_ENV: &str = "CATNAP_THREADS";
+
+/// Capacity of each worker's private deque; overflow spills to the
+/// shared injector, so this only bounds the uncontended fast path.
+const LANE_QUEUE: usize = 256;
 
 /// Parses a `CATNAP_THREADS`-style override. Returns `None` for absent,
 /// empty, unparsable, or zero values (zero threads cannot run anything,
@@ -117,11 +134,60 @@ struct Queue {
 }
 
 struct Shared {
-    queue: Mutex<Queue>,
+    /// FIFO overflow/entry queue for external submitters; its mutex also
+    /// guards the sleep protocol (push-then-notify under the lock pairs
+    /// with the workers' scan-then-wait under the lock).
+    injector: Mutex<Queue>,
     work_cv: Condvar,
+    /// One stealer per worker lane, in lane order.
+    stealers: Vec<deque::Stealer<Job>>,
 }
 
-/// A persistent scoped thread pool (see the module docs).
+impl Shared {
+    fn pop_injector(&self) -> Option<Job> {
+        self.injector.lock().unwrap().jobs.pop_front()
+    }
+
+    /// Steals one job from any lane other than `skip` (pass a
+    /// out-of-range value for "no own lane"). Scan order starts after
+    /// `skip` so victims rotate instead of piling onto lane 0.
+    fn try_steal(&self, skip: usize) -> Option<Job> {
+        let n = self.stealers.len();
+        if n == 0 {
+            return None;
+        }
+        for k in 0..n {
+            let i = skip.wrapping_add(1).wrapping_add(k) % n;
+            if i == skip {
+                continue;
+            }
+            loop {
+                match self.stealers[i].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// This thread's lane in a pool, recorded thread-locally by
+/// `worker_loop` so a nested [`ThreadPool::run`] from inside a job can
+/// recognise its own pool and push to its own deque.
+#[derive(Clone, Copy)]
+struct LaneTls {
+    shared: *const Shared,
+    lane: usize,
+    deque: *const deque::Worker<Job>,
+}
+
+thread_local! {
+    static LANE: Cell<Option<LaneTls>> = const { Cell::new(None) };
+}
+
+/// A persistent scoped work-stealing thread pool (see the module docs).
 pub struct ThreadPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -139,19 +205,30 @@ impl ThreadPool {
     /// acts as the final lane. `parallelism <= 1` spawns no workers at
     /// all — every job then runs inline on the caller (serial fallback).
     pub fn new(parallelism: usize) -> Self {
+        let lanes = parallelism.max(1) - 1;
+        let mut owners = Vec::with_capacity(lanes);
+        let mut stealers = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let (w, s) = deque::deque(LANE_QUEUE);
+            owners.push(w);
+            stealers.push(s);
+        }
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue {
+            injector: Mutex::new(Queue {
                 jobs: VecDeque::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
+            stealers,
         });
-        let workers = (1..parallelism.max(1))
-            .map(|i| {
+        let workers = owners
+            .into_iter()
+            .enumerate()
+            .map(|(lane, own)| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("catnap-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .name(format!("catnap-pool-{}", lane + 1))
+                    .spawn(move || worker_loop(&shared, lane, own))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -163,11 +240,23 @@ impl ThreadPool {
         self.workers.len() + 1
     }
 
+    /// The calling thread's lane record, if it is a worker of *this*
+    /// pool (a worker of some other pool counts as external here).
+    fn own_lane(&self) -> Option<LaneTls> {
+        LANE.with(|t| t.get())
+            .filter(|tls| std::ptr::eq(tls.shared, Arc::as_ptr(&self.shared)))
+    }
+
     /// Runs every closure (possibly in parallel) and returns their
     /// results **in submission order**. Blocks until all jobs finished;
     /// if any job panicked, the first panic is re-raised here after the
     /// whole batch has completed (so borrowed data is never observed by
     /// a still-running job past this call).
+    ///
+    /// Callable from inside a pool job: the nested batch is pushed onto
+    /// the worker's own deque (LIFO, drained before outer work) and
+    /// idle peers steal from it, so recursive fan-out load-balances
+    /// through the same worker team without deadlock.
     pub fn run<'scope, T, F>(&self, jobs: Vec<F>) -> Vec<T>
     where
         T: Send + 'scope,
@@ -183,31 +272,65 @@ impl ThreadPool {
         }
         let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
         let batch = Batch::new(n);
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            for (i, f) in jobs.into_iter().enumerate() {
-                let results = &results;
-                let work: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    let value = f();
-                    results.lock().unwrap()[i] = Some(value);
-                });
-                // SAFETY: `Batch::wait` below does not return — normally
-                // or by unwinding — until `remaining == 0`, i.e. until
-                // every closure (and its borrows of `results`/caller
-                // state) has finished running. Erasing the lifetime is
-                // therefore sound: no job outlives this stack frame.
-                let work: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(work) };
-                q.jobs.push_back(Job {
-                    work,
-                    batch: Arc::clone(&batch),
-                });
-            }
-            self.shared.work_cv.notify_all();
+        let mut queued: Vec<Job> = Vec::with_capacity(n);
+        for (i, f) in jobs.into_iter().enumerate() {
+            let results = &results;
+            let work: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let value = f();
+                results.lock().unwrap()[i] = Some(value);
+            });
+            // SAFETY: `Batch::wait` below does not return — normally
+            // or by unwinding — until `remaining == 0`, i.e. until
+            // every closure (and its borrows of `results`/caller
+            // state) has finished running. Erasing the lifetime is
+            // therefore sound: no job outlives this stack frame.
+            let work: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(work) };
+            queued.push(Job {
+                work,
+                batch: Arc::clone(&batch),
+            });
         }
-        // The caller is a worker too: drain the queue before blocking so
-        // small batches complete with no context switch at all.
+        let lane = self.own_lane();
+        match lane {
+            Some(tls) => {
+                // Nested submission from one of our own workers: the
+                // fast path is the worker's private deque; a full ring
+                // spills to the injector.
+                // SAFETY: `tls.deque` points into the live
+                // `worker_loop` frame of *this* thread (we are inside
+                // a job that frame is executing), so the reference is
+                // valid and uniquely owned by this thread.
+                let own = unsafe { &*tls.deque };
+                let mut overflow = VecDeque::new();
+                for job in queued {
+                    if let Err(job) = own.push(job) {
+                        overflow.push_back(job);
+                    }
+                }
+                let mut q = self.shared.injector.lock().unwrap();
+                q.jobs.append(&mut overflow);
+                self.shared.work_cv.notify_all();
+            }
+            None => {
+                let mut q = self.shared.injector.lock().unwrap();
+                q.jobs.extend(queued);
+                self.shared.work_cv.notify_all();
+            }
+        }
+        // The caller is a worker too: help drain until no runnable job
+        // is in sight, then block on batch completion (stolen stragglers
+        // finish on other lanes).
         loop {
-            let job = self.shared.queue.lock().unwrap().jobs.pop_front();
+            let job = match lane {
+                Some(tls) => {
+                    // SAFETY: as above — own `worker_loop` frame.
+                    let own = unsafe { &*tls.deque };
+                    own.pop()
+                        .or_else(|| self.shared.pop_injector())
+                        .or_else(|| self.shared.try_steal(tls.lane))
+                }
+                None => self.shared.pop_injector().or_else(|| self.shared.try_steal(usize::MAX)),
+            };
             match job {
                 Some(job) => job.execute(),
                 None => break,
@@ -226,7 +349,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = self.shared.injector.lock().unwrap();
             q.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -239,16 +362,38 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Arc<Shared>, lane: usize, own: deque::Worker<Job>) {
+    LANE.with(|t| {
+        t.set(Some(LaneTls {
+            shared: Arc::as_ptr(shared),
+            lane,
+            deque: &own,
+        }))
+    });
     loop {
+        // Fast path: own deque (nested batches), then injector, then
+        // steal a straggler from a busy peer.
+        if let Some(job) = own.pop().or_else(|| shared.pop_injector()).or_else(|| shared.try_steal(lane)) {
+            job.execute();
+            continue;
+        }
+        // Nothing visible: re-scan under the injector lock before
+        // sleeping. Submitters publish work *before* taking the lock
+        // and notify while holding it, so a job enqueued concurrently
+        // is either seen by this scan or wakes the wait below — no
+        // lost-wakeup window.
         let job = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = shared.injector.lock().unwrap();
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
                 }
                 if q.shutdown {
+                    LANE.with(|t| t.set(None));
                     return;
+                }
+                if let Some(job) = shared.try_steal(lane) {
+                    break job;
                 }
                 q = shared.work_cv.wait(q).unwrap();
             }
@@ -353,6 +498,89 @@ mod tests {
         let pool = ThreadPool::new(2);
         let got: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn nested_run_from_worker_jobs_completes() {
+        // Subnet jobs fan out into shard jobs on the same pool; the
+        // nested batches must drain without deadlock and in order.
+        let pool = Arc::new(ThreadPool::new(4));
+        let outer: Vec<_> = (0..6usize)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                move || {
+                    let inner: Vec<_> = (0..8usize).map(|j| move || (i * 100 + j) as u64).collect();
+                    pool.run(inner).into_iter().sum::<u64>()
+                }
+            })
+            .collect();
+        let got = pool.run(outer);
+        let want: Vec<u64> = (0..6u64).map(|i| (0..8u64).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nested_run_three_levels_deep() {
+        let pool = Arc::new(ThreadPool::new(3));
+        let p1 = Arc::clone(&pool);
+        let total: u64 = pool
+            .run(
+                (0..4u64)
+                    .map(|a| {
+                        let p2 = Arc::clone(&p1);
+                        move || {
+                            let p3 = Arc::clone(&p2);
+                            p2.run(
+                                (0..4u64)
+                                    .map(|b| {
+                                        let p4 = Arc::clone(&p3);
+                                        move || {
+                                            p4.run((0..4u64).map(|c| move || a + b + c).collect())
+                                                .into_iter()
+                                                .sum::<u64>()
+                                        }
+                                    })
+                                    .collect(),
+                            )
+                            .into_iter()
+                            .sum::<u64>()
+                        }
+                    })
+                    .collect(),
+            )
+            .into_iter()
+            .sum();
+        let want: u64 = (0..4u64)
+            .flat_map(|a| (0..4u64).flat_map(move |b| (0..4u64).map(move |c| a + b + c)))
+            .sum();
+        assert_eq!(total, want);
+    }
+
+    #[test]
+    fn imbalanced_batch_spreads_across_lanes() {
+        // One huge job plus many tiny ones: with stealing, the tiny
+        // jobs must not all queue behind the huge one. We can't assert
+        // timing portably, but we can assert more than one thread ran
+        // jobs when parallelism allows it (skip on 1-core hosts).
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+            return;
+        }
+        let pool = ThreadPool::new(4);
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..64usize)
+            .map(|i| {
+                let seen = &seen;
+                let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                });
+                job
+            })
+            .collect();
+        pool.run(jobs);
+        assert!(seen.lock().unwrap().len() >= 2, "work spread over at least two lanes");
     }
 
     #[test]

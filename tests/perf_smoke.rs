@@ -270,3 +270,113 @@ fn telemetry_noop_sink_meets_pre_telemetry_floor() {
         noop / recording
     );
 }
+
+/// Times the busy gated sharding scenario (mirror of the bench's
+/// `busy_gated_shards_t*` series): round-robin 0.20 packets/node/cycle
+/// on 4NT-128b, all four subnets carrying traffic, stepped at a forced
+/// thread/shard count.
+fn busy_sharded_cycles_per_sec(cycles: u64, threads: usize) -> f64 {
+    let cfg = MultiNocConfig::catnap_4x128()
+        .selector(catnap_repro::catnap::SelectorKind::RoundRobin)
+        .gating(true)
+        .seed(7)
+        .step_threads(threads)
+        .shard_threads(threads);
+    let mut net = MultiNoc::new(cfg);
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.20, 512, net.dims(), 7);
+    let start = Instant::now();
+    for _ in 0..cycles {
+        load.drive(&mut net);
+        net.step();
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-12);
+    cycles as f64 / secs
+}
+
+/// Floor for sharded multi-thread stepping over single-thread on the
+/// busy gated scenario, asserted only on hosts with at least 4 cores
+/// (on fewer cores extra lanes cannot beat serial; the bench still
+/// records the honest ratio in `shard_scaling`).
+const FLOOR_SHARDED_SPEEDUP: f64 = 1.5;
+
+/// Floor for the crossover fix: dispatching only busy subnets to the
+/// pool must keep auto-sized stepping within noise of serial even on a
+/// single-core host (auto sizing resolves to the serial loop there).
+const FLOOR_AUTO_VS_SERIAL: f64 = 0.98;
+
+#[test]
+fn sharded_stepping_scales_on_multicore_hosts() {
+    if std::env::var("CATNAP_PERF_SMOKE").map(|v| v != "1").unwrap_or(true) {
+        eprintln!("perf smoke skipped (set CATNAP_PERF_SMOKE=1 to enable)");
+        return;
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 4 {
+        eprintln!("sharded scaling floor skipped ({cores} cores; needs >= 4)");
+        return;
+    }
+    let _ = busy_sharded_cycles_per_sec(500, 4); // warm
+    let cycles = if cfg!(debug_assertions) { 2_000 } else { 10_000 };
+    let serial = busy_sharded_cycles_per_sec(cycles, 1);
+    let sharded = busy_sharded_cycles_per_sec(cycles, 4);
+    let ratio = sharded / serial;
+    println!(
+        "sharded scaling smoke: 4-thread {sharded:.0} vs 1-thread {serial:.0} cycles/sec ({ratio:.2}x, floor {FLOOR_SHARDED_SPEEDUP}x)"
+    );
+    assert!(
+        ratio >= FLOOR_SHARDED_SPEEDUP,
+        "sharded stepping at {ratio:.2}x of serial, below the {FLOOR_SHARDED_SPEEDUP}x floor on a {cores}-core host"
+    );
+}
+
+#[test]
+fn auto_sized_stepping_never_loses_to_serial() {
+    if std::env::var("CATNAP_PERF_SMOKE").map(|v| v != "1").unwrap_or(true) {
+        eprintln!("perf smoke skipped (set CATNAP_PERF_SMOKE=1 to enable)");
+        return;
+    }
+    let run = |threads: Option<usize>, cycles: u64| {
+        let cfg = MultiNocConfig::catnap_4x128()
+            .selector(catnap_repro::catnap::SelectorKind::RoundRobin)
+            .seed(7);
+        let cfg = match threads {
+            Some(t) => cfg.step_threads(t).shard_threads(t),
+            None => cfg,
+        };
+        let mut net = MultiNoc::new(cfg);
+        let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.20, 512, net.dims(), 7);
+        let start = Instant::now();
+        for _ in 0..cycles {
+            load.drive(&mut net);
+            net.step();
+        }
+        cycles as f64 / start.elapsed().as_secs_f64().max(1e-12)
+    };
+    let cycles = if cfg!(debug_assertions) { 2_000 } else { 8_000 };
+    let _ = run(Some(1), 500); // warm
+                               // Interleaved best-of-four per mode: other perf-smoke tests time
+                               // concurrently in the same process, so back-to-back blocks would
+                               // charge drifting contention to one mode. This is a regression
+                               // guard against the old always-dispatch behavior (which lost ~13%
+                               // on one core), not a microbenchmark.
+    let mut serial = 0.0f64;
+    let mut auto = 0.0f64;
+    for round in 0..6 {
+        // Alternate which mode goes first so position bias cancels.
+        if round % 2 == 0 {
+            serial = serial.max(run(Some(1), cycles));
+            auto = auto.max(run(None, cycles));
+        } else {
+            auto = auto.max(run(None, cycles));
+            serial = serial.max(run(Some(1), cycles));
+        }
+    }
+    let ratio = auto / serial;
+    println!(
+        "auto-vs-serial smoke: auto {auto:.0} vs serial {serial:.0} cycles/sec ({ratio:.2}x, floor {FLOOR_AUTO_VS_SERIAL}x)"
+    );
+    assert!(
+        ratio >= FLOOR_AUTO_VS_SERIAL,
+        "auto-sized stepping ran at {ratio:.2}x of serial, below the {FLOOR_AUTO_VS_SERIAL}x floor"
+    );
+}

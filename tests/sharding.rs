@@ -1,0 +1,403 @@
+//! Determinism suite for spatial mesh sharding and the work-stealing
+//! scheduler: a `MultiNoc` stepped at any thread/shard count must be
+//! **bit-identical** to strictly serial stepping — same pinned golden
+//! fingerprints, same full snapshots and latency histograms, same
+//! recorded telemetry traces, byte-identical checkpoints that resume
+//! across thread counts — plus a randomized differential property over
+//! mesh shapes and shard counts with first-divergent-cycle shrink, and
+//! an env-gated steal-heavy stress of the underlying deque.
+
+use catnap_repro::catnap::{MultiNoc, MultiNocConfig, SelectorKind};
+use catnap_repro::noc::MeshDims;
+use catnap_repro::telemetry::{diff_traces, RecordingSink};
+use catnap_repro::traffic::{LoadSchedule, SyntheticPattern, SyntheticWorkload};
+use catnap_repro::util::check::Checker;
+use catnap_repro::util::deque;
+use std::collections::BTreeMap;
+
+/// The six pinned goldens from `tests/determinism.rs`. Kept in sync by
+/// hand: a legitimate re-pin there must be mirrored here.
+const PINNED: [(SelectorKind, bool, (u64, u64, u64)); 6] = [
+    (SelectorKind::RoundRobin, true, (7416, 290007, 325)),
+    (SelectorKind::RoundRobin, false, (7502, 167583, 0)),
+    (SelectorKind::Random, true, (7430, 288557, 331)),
+    (SelectorKind::Random, false, (7504, 168413, 0)),
+    (SelectorKind::CatnapPriority, true, (7443, 248092, 222)),
+    (SelectorKind::CatnapPriority, false, (7447, 225011, 99)),
+];
+
+/// Thread/shard counts every invariant is exercised at. `1` is the
+/// serial reference; the rest force real pool workers (more lanes than
+/// this host may have cores — the scheduler must not care).
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+const CYCLES: u64 = 1_500;
+
+fn golden_cfg(selector: SelectorKind, gating: bool, threads: usize) -> MultiNocConfig {
+    MultiNocConfig::catnap_4x128()
+        .selector(selector)
+        .gating(gating)
+        .seed(7)
+        .step_threads(threads)
+        .shard_threads(threads)
+}
+
+fn golden_load(dims: MeshDims) -> SyntheticWorkload {
+    SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.08, 512, dims, 7)
+}
+
+/// Runs one golden scenario and returns the fingerprint tuple, the full
+/// snapshot, and the exact per-packet latency histogram.
+#[allow(clippy::type_complexity)]
+fn golden_run(
+    selector: SelectorKind,
+    gating: bool,
+    threads: usize,
+) -> ((u64, u64, u64), catnap_repro::catnap::Snapshot, BTreeMap<u64, u64>) {
+    let mut net = MultiNoc::new(golden_cfg(selector, gating, threads));
+    net.set_track_deliveries(true);
+    let mut load = golden_load(net.dims());
+    let mut histogram = BTreeMap::new();
+    for _ in 0..CYCLES {
+        load.drive(&mut net);
+        net.step();
+        let now = net.cycle();
+        for tail in net.drain_delivered() {
+            *histogram.entry(now.saturating_sub(tail.created_cycle)).or_insert(0) += 1;
+        }
+    }
+    let snap = net.snapshot();
+    let report = net.finish();
+    let fp = (report.packets_delivered, snap.latency_sum, snap.or_switch_events);
+    (fp, snap, histogram)
+}
+
+/// Every pinned golden replays bit-identically at every thread/shard
+/// count: fingerprints, full snapshots, per-packet latency histograms.
+#[test]
+fn goldens_bit_identical_at_every_thread_count() {
+    for (selector, gating, want) in PINNED {
+        let (fp1, snap1, hist1) = golden_run(selector, gating, 1);
+        assert_eq!(fp1, want, "serial golden changed for {selector:?} gating={gating}");
+        for threads in THREAD_COUNTS {
+            if threads == 1 {
+                continue;
+            }
+            let scope = format!("{selector:?} gating={gating} threads={threads}");
+            let (fp, snap, hist) = golden_run(selector, gating, threads);
+            assert_eq!(fp, want, "fingerprint diverged for {scope}");
+            assert_eq!(snap, snap1, "snapshot diverged for {scope}");
+            assert_eq!(hist, hist1, "latency histogram diverged for {scope}");
+        }
+    }
+}
+
+/// Under sustained saturating load, forced multi-lane stepping must
+/// actually run the sharded band sweep (not silently fall back), and
+/// still match the serial twin exactly.
+#[test]
+fn sharded_band_sweep_engages_under_load() {
+    let run = |threads: usize| {
+        let cfg = MultiNocConfig::catnap_4x128()
+            .selector(SelectorKind::RoundRobin)
+            .seed(11)
+            .step_threads(threads)
+            .shard_threads(threads.min(4));
+        let mut net = MultiNoc::new(cfg);
+        let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.40, 512, net.dims(), 11);
+        for _ in 0..600 {
+            load.drive(&mut net);
+            net.step();
+        }
+        let engaged: u64 = (0..net.num_subnets()).map(|s| net.subnet(s).sharded_steps()).sum();
+        (net.snapshot(), engaged)
+    };
+    let (serial_snap, serial_engaged) = run(1);
+    assert_eq!(serial_engaged, 0, "serial stepping must never shard");
+    let (sharded_snap, sharded_engaged) = run(8);
+    assert_eq!(sharded_snap, serial_snap, "sharded run diverged from serial");
+    assert!(
+        sharded_engaged > 0,
+        "band sweep never engaged under saturating load at 8 lanes"
+    );
+}
+
+/// Recorded telemetry traces are byte-identical across thread counts —
+/// the merge order of shard-local events is fixed by shard index, so
+/// recording sinks observe the canonical serial stream regardless of
+/// which lane produced an event.
+#[test]
+fn telemetry_traces_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let cfg = MultiNocConfig::catnap_4x128()
+            .gating(true)
+            .seed(31)
+            .step_threads(threads)
+            .shard_threads(threads);
+        let mut net = MultiNoc::with_sinks(cfg, |_| RecordingSink::new());
+        let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.05, 512, net.dims(), 31);
+        for _ in 0..2_000 {
+            load.drive(&mut net);
+            net.step();
+        }
+        let trace = net.take_trace();
+        (net.snapshot(), trace)
+    };
+    let (snap1, trace1) = run(1);
+    for threads in [2usize, 4, 8] {
+        let (snap, trace) = run(threads);
+        assert_eq!(snap, snap1, "snapshot diverged at {threads} threads");
+        let d = diff_traces(&trace1, &trace);
+        assert!(d.is_identical(), "telemetry diverged at {threads} threads:\n{d}");
+    }
+}
+
+/// A checkpoint saved mid-run at one thread count resumes bit-identically
+/// at any other: the blob itself is byte-identical regardless of the
+/// writer's thread count (shard state is scratch, recomputed on load),
+/// and a resume stepped at a different count reproduces the
+/// straight-through serial run exactly.
+#[test]
+fn checkpoints_portable_across_thread_counts() {
+    const SPLIT: u64 = 700;
+    let (selector, gating, want) = PINNED[4]; // CatnapPriority, gated
+
+    // Straight-through serial reference.
+    let mut reference = MultiNoc::new(golden_cfg(selector, gating, 1));
+    let mut load = golden_load(reference.dims());
+    for _ in 0..SPLIT {
+        load.drive(&mut reference);
+        reference.step();
+    }
+    let serial_blob = reference.save_checkpoint(&load.encode_position());
+    for _ in SPLIT..CYCLES {
+        load.drive(&mut reference);
+        reference.step();
+    }
+    let reference_snap = reference.snapshot();
+    let fp = (
+        reference.finish().packets_delivered,
+        reference_snap.latency_sum,
+        reference_snap.or_switch_events,
+    );
+    assert_eq!(fp, want, "serial reference changed");
+
+    for threads in [2usize, 4, 8] {
+        // Same prefix stepped sharded: the checkpoint must come out
+        // byte-for-byte the same.
+        let mut net = MultiNoc::new(golden_cfg(selector, gating, threads));
+        let mut wl = golden_load(net.dims());
+        for _ in 0..SPLIT {
+            wl.drive(&mut net);
+            net.step();
+        }
+        let blob = net.save_checkpoint(&wl.encode_position());
+        assert_eq!(
+            blob, serial_blob,
+            "checkpoint bytes differ when written at {threads} threads"
+        );
+
+        // Resume the serial-written blob at this thread count and run to
+        // the end: must land on the serial reference exactly.
+        let resume_cfg = golden_cfg(selector, gating, threads);
+        let (mut resumed, driver) = MultiNoc::resume_from(resume_cfg, &serial_blob).expect("golden checkpoint resumes");
+        assert_eq!(resumed.cycle(), SPLIT);
+        let mut rload = SyntheticWorkload::decode_position(
+            SyntheticPattern::UniformRandom,
+            LoadSchedule::constant(0.08),
+            512,
+            resumed.dims(),
+            &driver,
+        )
+        .expect("workload position decodes");
+        for _ in SPLIT..CYCLES {
+            rload.drive(&mut resumed);
+            resumed.step();
+        }
+        assert_eq!(
+            resumed.snapshot(),
+            reference_snap,
+            "resume at {threads} threads diverged from the serial straight-through"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized differential property
+// ---------------------------------------------------------------------
+
+/// Input of the randomized serial-vs-sharded property.
+#[derive(Debug)]
+struct ShardProp {
+    dims: MeshDims,
+    subnets: usize,
+    threads: usize,
+    shards: usize,
+    gating: bool,
+    selector: SelectorKind,
+    on_rate: f64,
+    seed: u64,
+}
+
+fn prop_cfg(input: &ShardProp, threads: usize, shards: usize) -> MultiNocConfig {
+    let mut cfg = MultiNocConfig::bandwidth_equivalent(input.subnets)
+        .selector(input.selector)
+        .gating(input.gating)
+        .seed(input.seed)
+        .step_threads(threads)
+        .shard_threads(shards);
+    cfg.dims = input.dims;
+    cfg
+}
+
+fn prop_load(input: &ShardProp, dims: MeshDims) -> SyntheticWorkload {
+    let schedule = LoadSchedule::square_wave(200, 340, input.on_rate, 0.001, 3);
+    SyntheticWorkload::with_schedule(SyntheticPattern::UniformRandom, schedule, 512, dims, input.seed)
+}
+
+/// Shrink step: re-runs the failing twins cycle by cycle and names the
+/// first cycle whose snapshots differ.
+fn first_divergent_cycle(input: &ShardProp, cycles: u64) -> Option<u64> {
+    let mut serial = MultiNoc::new(prop_cfg(input, 1, 1));
+    let mut sharded = MultiNoc::new(prop_cfg(input, input.threads, input.shards));
+    let mut ls = prop_load(input, serial.dims());
+    let mut lp = prop_load(input, sharded.dims());
+    for c in 0..cycles {
+        ls.drive(&mut serial);
+        serial.step();
+        lp.drive(&mut sharded);
+        sharded.step();
+        if sharded.snapshot() != serial.snapshot() {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Property: for arbitrary mesh shape, subnet count, thread count and
+/// shard count, sharded stepping yields the same snapshot and final
+/// report as strictly serial stepping under a bursty load.
+#[test]
+fn prop_sharded_equals_serial() {
+    const PROP_CYCLES: u64 = 1_200;
+    Checker::new("prop_sharded_equals_serial").cases(8).run(
+        |rng| ShardProp {
+            dims: *rng.choose(&[
+                MeshDims::new(3, 3),
+                MeshDims::new(4, 4),
+                MeshDims::new(5, 3),
+                MeshDims::new(8, 8),
+                MeshDims::new(2, 8),
+            ]),
+            subnets: *rng.choose(&[1usize, 2, 4]),
+            threads: *rng.choose(&[2usize, 3, 4, 8]),
+            shards: *rng.choose(&[1usize, 2, 3, 4, 8]),
+            gating: rng.gen_bool(0.5),
+            selector: *rng.choose(&[SelectorKind::RoundRobin, SelectorKind::CatnapPriority]),
+            on_rate: 0.15 + rng.gen::<f64>() * 0.30,
+            seed: rng.gen_range(0u64..10_000),
+        },
+        |input| {
+            let run = |threads: usize, shards: usize| {
+                let mut net = MultiNoc::new(prop_cfg(input, threads, shards));
+                let mut load = prop_load(input, net.dims());
+                for _ in 0..PROP_CYCLES {
+                    load.drive(&mut net);
+                    net.step();
+                }
+                (net.snapshot(), net.finish())
+            };
+            let (serial_snap, serial_report) = run(1, 1);
+            let (sharded_snap, sharded_report) = run(input.threads, input.shards);
+            if sharded_snap != serial_snap || sharded_report != serial_report {
+                let at = first_divergent_cycle(input, PROP_CYCLES)
+                    .map(|c| format!("first divergent cycle: {c}"))
+                    .unwrap_or_else(|| "snapshots re-converged; divergence is in the final report".into());
+                return Err(format!("sharded run diverged from serial ({at})"));
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Deque stress (env-gated)
+// ---------------------------------------------------------------------
+
+/// Steal-heavy stress of the work-stealing deque: one owner pushes and
+/// pops bursts while several thieves hammer `steal`, with adversarial
+/// imbalance (the owner drains its own queue in LIFO bursts so thieves
+/// mostly race each other for the tail). Every pushed token must be
+/// taken exactly once. Expensive and scheduling-sensitive, so gated
+/// behind `CATNAP_STRESS=1`.
+#[test]
+fn deque_steal_stress_loses_nothing() {
+    if std::env::var("CATNAP_STRESS").map(|v| v != "1").unwrap_or(true) {
+        eprintln!("deque stress skipped (set CATNAP_STRESS=1 to enable)");
+        return;
+    }
+    use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+    const TOKENS: usize = 1 << 16;
+    const THIEVES: usize = 4;
+    let taken: Vec<AtomicU8> = (0..TOKENS).map(|_| AtomicU8::new(0)).collect();
+    let done = AtomicBool::new(false);
+    let (worker, stealer) = deque::deque::<usize>(512);
+
+    std::thread::scope(|scope| {
+        for _ in 0..THIEVES {
+            let stealer = stealer.clone();
+            let taken = &taken;
+            let done = &done;
+            scope.spawn(move || loop {
+                match stealer.steal() {
+                    deque::Steal::Success(t) => {
+                        taken[t].fetch_add(1, Ordering::Relaxed);
+                    }
+                    deque::Steal::Retry => std::hint::spin_loop(),
+                    deque::Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+
+        let mut next = 0usize;
+        while next < TOKENS {
+            // Push a burst (backing off when the ring is full), then pop
+            // part of it back LIFO so thieves race for the remainder.
+            let burst = 64.min(TOKENS - next);
+            let mut pushed = 0;
+            while pushed < burst {
+                match worker.push(next) {
+                    Ok(()) => {
+                        next += 1;
+                        pushed += 1;
+                    }
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+            for _ in 0..burst / 2 {
+                if let Some(t) = worker.pop() {
+                    taken[t].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        while let Some(t) = worker.pop() {
+            taken[t].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    for (t, flag) in taken.iter().enumerate() {
+        assert_eq!(
+            flag.load(Ordering::Relaxed),
+            1,
+            "token {t} taken {} times",
+            flag.load(Ordering::Relaxed)
+        );
+    }
+}
