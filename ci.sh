@@ -19,6 +19,19 @@ CATNAP_THREADS=1 cargo test -q --offline
 echo "== test (CATNAP_THREADS=4, pooled subnets and shards) =="
 CATNAP_THREADS=4 cargo test -q --offline
 
+echo "== hive smoke (3 spawned catnap-serve workers over loopback TCP) =="
+# The hive integration tests (tests/hive.rs) already ran above with
+# in-process fleets; this exercises the real multi-process path:
+# catnap-hive forks catnap-serve children sharing one cache directory.
+HIVE_TMP="$(mktemp -d)"
+trap 'rm -rf "$HIVE_TMP"' EXIT
+cargo run -q --release --offline -p catnap-hive -- sweep \
+  --spawn 3 --worker-bin target/release/catnap-serve \
+  --config single-noc-128b --pattern transpose --loads 0.02,0.04,0.06 \
+  --packet-bits 128 --warmup 60 --measure 60 --seed 11 \
+  --cache "$HIVE_TMP/cache" --out "$HIVE_TMP/sweep.json"
+test -s "$HIVE_TMP/sweep.json" || { echo "hive smoke produced no output"; exit 1; }
+
 echo "== clippy (workspace, all targets, -D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -49,6 +49,100 @@ pub struct SimJob {
     pub seed: u64,
 }
 
+/// A sweep point addressed by *preset name* — the client-side
+/// counterpart of `catnap-serve`'s `parse_job`. Where [`SimJob`] holds a
+/// fully-resolved [`MultiNocConfig`], a `JobRequest` holds the wire
+/// form: the preset string plus every knob the protocol carries, so a
+/// coordinator (`catnap-hive`) can encode it into a request line and any
+/// worker rebuilds the identical resolved job. `to_job_json` ∘
+/// `parse_job` is fingerprint-preserving (pinned by a `catnap-serve`
+/// test).
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// Config preset name (`catnap-4x128`, `single-noc-128b`, …).
+    pub config: String,
+    /// Power gating on/off.
+    pub gating: bool,
+    /// Worker lanes for stepping subnets/shards (scheduling only; never
+    /// part of any fingerprint).
+    pub threads: usize,
+    /// Destination pattern.
+    pub pattern: SyntheticPattern,
+    /// Offered-load schedule over warm-up + measurement.
+    pub schedule: LoadSchedule,
+    /// Packet size in bits.
+    pub packet_bits: u32,
+    /// Warm-up cycles.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl JobRequest {
+    /// Encodes the request as the protocol's `"job"` object.
+    pub fn to_job_json(&self) -> Json {
+        let mut fields = vec![
+            ("config".to_string(), Json::Str(self.config.clone())),
+            ("gating".to_string(), Json::Bool(self.gating)),
+            ("threads".to_string(), Json::Int(self.threads as i64)),
+            ("pattern".to_string(), Json::Str(self.pattern.name().to_string())),
+        ];
+        if let SyntheticPattern::HotSpot { hotspot, per_mille } = self.pattern {
+            fields.push(("hotspot".to_string(), Json::Int(i64::from(hotspot.0))));
+            fields.push(("hotspot_per_mille".to_string(), Json::Int(i64::from(per_mille))));
+        }
+        let segments = self.schedule.segments();
+        if segments.len() == 1 && segments[0].0 == 0 {
+            fields.push(("rate".to_string(), Json::Num(segments[0].1)));
+        } else {
+            let rows = segments
+                .iter()
+                .map(|&(from, rate)| Json::Arr(vec![Json::Int(from as i64), Json::Num(rate)]))
+                .collect();
+            fields.push(("schedule".to_string(), Json::Arr(rows)));
+        }
+        fields.push(("packet_bits".to_string(), Json::Int(i64::from(self.packet_bits))));
+        fields.push(("warmup".to_string(), Json::Int(self.warmup as i64)));
+        fields.push(("measure".to_string(), Json::Int(self.measure as i64)));
+        fields.push(("seed".to_string(), Json::Int(self.seed as i64)));
+        Json::Obj(fields)
+    }
+}
+
+/// The [`JobRequest`]s of a constant-load latency sweep: one request per
+/// offered load, single-threaded workers (a fleet parallelizes across
+/// points, not within them). The exact counterpart of
+/// [`crate::runs::latency_sweep`]'s point list, so a distributed sweep
+/// can be checked byte-for-byte against the serial one.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_requests(
+    preset: &str,
+    gating: bool,
+    pattern: SyntheticPattern,
+    loads: &[f64],
+    packet_bits: u32,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> Vec<JobRequest> {
+    loads
+        .iter()
+        .map(|&l| JobRequest {
+            config: preset.to_string(),
+            gating,
+            threads: 1,
+            pattern,
+            schedule: LoadSchedule::constant(l),
+            packet_bits,
+            warmup,
+            measure,
+            seed,
+        })
+        .collect()
+}
+
 /// How a cached run was satisfied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CacheOutcome {

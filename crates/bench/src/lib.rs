@@ -15,6 +15,9 @@ pub mod cached;
 pub mod harness;
 pub mod runs;
 
-pub use cached::{job_fingerprint, run_job_uncached, run_synthetic_cached, sweep_cached, CacheOutcome, SimJob};
+pub use cached::{
+    job_fingerprint, run_job_uncached, run_synthetic_cached, sweep_cached, sweep_requests, CacheOutcome, JobRequest,
+    SimJob,
+};
 pub use harness::{emit_csv_timeline, emit_json, emit_trace, print_banner, Table};
 pub use runs::{latency_sweep, latency_sweep_cached, run_mix, run_synthetic, trace_synthetic, MixResult, SweepPoint};

@@ -12,11 +12,26 @@
 //!
 //! Corrupt entries are treated as misses, never as errors: a checkpoint
 //! that fails its checksum on resume should simply be recomputed.
+//!
+//! The directory may be shared by any number of processes (several
+//! `catnap-serve` workers behind one `catnap-hive` coordinator, say):
+//! inserts stage into a per-process uniquely-named temp file and
+//! atomically rename it into place, so concurrent writers of the same
+//! key each install a complete entry (byte-identical by construction —
+//! entries are pure functions of their fingerprint), and readers racing
+//! an eviction see a plain miss when an entry vanishes between the
+//! directory listing and the read.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::SystemTime;
+
+/// Monotone counter distinguishing concurrent temp files written by
+/// different [`SimCache`] handles within one process; the process id
+/// separates handles across processes.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Hit/miss/eviction counters for one [`SimCache`] handle (process-local;
 /// not persisted).
@@ -146,15 +161,29 @@ impl SimCache {
     fn put(&mut self, path: PathBuf, bytes: &[u8]) -> io::Result<()> {
         // Write-then-rename so a concurrent reader never sees a torn
         // entry (it sees either no file — a miss — or a complete one).
-        let tmp = path.with_extension("tmp");
+        // The temp name carries the process id and a process-local
+        // counter: several workers sharing one CATNAP_CACHE_DIR can
+        // write the same key at once, and each rename then atomically
+        // installs one complete, byte-identical entry instead of two
+        // writers interleaving into the same temp file.
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
         fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, &path)?;
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
         self.evict_to_cap();
         Ok(())
     }
 
     /// Removes oldest-written entries until the count is within the cap.
-    /// Best-effort: I/O failures here only mean the cache stays larger.
+    /// Best-effort: I/O failures here only mean the cache stays larger,
+    /// and an entry another process already evicted (metadata or remove
+    /// failing on a vanished file) is silently skipped.
     fn evict_to_cap(&mut self) {
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return;
@@ -225,6 +254,52 @@ mod tests {
         assert_eq!(cache.stats().evictions, 2);
         assert!(cache.get_result(0).is_none(), "oldest evicted");
         assert!(cache.get_result(4).is_some(), "newest kept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Many handles hammering one directory — overlapping keys, a cap
+    /// small enough to force continuous eviction — must never corrupt an
+    /// entry or error out: every read is either a miss or the exact
+    /// bytes that key stores. This is the single-host model of several
+    /// worker processes sharing one `CATNAP_CACHE_DIR`.
+    #[test]
+    fn concurrent_handles_share_a_directory_safely() {
+        let dir = temp_dir("concurrent");
+        fs::create_dir_all(&dir).unwrap();
+        let payload = |key: u64| format!("{{\"key\":{key}}}");
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    // Tiny cap: every insert beyond 8 entries races an
+                    // eviction in every other thread.
+                    let mut cache = SimCache::new(&dir, 8).unwrap();
+                    for round in 0..30u64 {
+                        let key = (t + round) % 12;
+                        cache.put_result(key, &payload(key)).unwrap();
+                        cache.put_checkpoint(key, payload(key).as_bytes()).unwrap();
+                        for probe in 0..12u64 {
+                            if let Some(text) = cache.get_result(probe) {
+                                assert_eq!(text, payload(probe), "torn or foreign entry under key {probe}");
+                            }
+                            if let Some(bytes) = cache.get_checkpoint(probe) {
+                                assert_eq!(bytes, payload(probe).into_bytes(), "torn checkpoint under key {probe}");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no cache thread may panic");
+        }
+        // No temp litter left behind once all writers are done.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

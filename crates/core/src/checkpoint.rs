@@ -33,6 +33,15 @@ use catnap_util::codec::{self, ByteReader, ByteWriter, CodecError, Fnv64};
 /// [`CodecError::UnsupportedVersion`], never misparsed.
 pub const CHECKPOINT_VERSION: u32 = 1;
 
+/// Version of the [`config_fingerprint`] *input schema*: which config
+/// fields are hashed, and in what encoding. Bump whenever that set or
+/// encoding changes — two builds with different schema versions may
+/// assign the same 64-bit key to semantically different configurations,
+/// so they must never share a result cache or a worker fleet. The
+/// `catnap-serve` `ping` command reports this value and `catnap-hive`
+/// refuses workers that disagree with its own.
+pub const FINGERPRINT_SCHEMA_VERSION: u32 = 1;
+
 /// Stable fingerprint of a resolved configuration: equal fingerprints
 /// guarantee two configs drive bit-identical simulations (every field
 /// that influences results is hashed; `step_threads` and

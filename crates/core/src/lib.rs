@@ -67,7 +67,7 @@ pub mod rcs;
 pub mod select;
 
 pub use cache::{CacheStats, SimCache};
-pub use checkpoint::{config_fingerprint, CHECKPOINT_VERSION};
+pub use checkpoint::{config_fingerprint, CHECKPOINT_VERSION, FINGERPRINT_SCHEMA_VERSION};
 pub use config::{MultiNocConfig, SelectorKind};
 pub use congestion::{CongestionMetric, MetricKind};
 pub use gating::GatingPolicy;

@@ -1,0 +1,87 @@
+//! `perf_hive` — multi-worker sweep scaling.
+//!
+//! Runs the same constant-load latency sweep through an in-process
+//! worker fleet at increasing fleet sizes, asserting the result bytes
+//! never change with the worker count (the hive's core promise) and
+//! recording the wall-clock scaling into `bench_out/perf_hive.json`.
+//! Each pass gets fresh per-worker cache directories so no pass warms
+//! the next.
+
+use catnap_bench::{emit_json, print_banner, sweep_requests, Table};
+use catnap_hive::{run_sweep, HiveConfig, ThreadFleet};
+use catnap_traffic::SyntheticPattern;
+use catnap_util::Json;
+use std::time::Instant;
+
+fn pass(workers: usize, requests: &[catnap_bench::JobRequest]) -> (Vec<String>, f64) {
+    let root = std::env::temp_dir().join(format!("catnap-perf-hive-{}-{workers}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let fleet = ThreadFleet::spawn(&root, &vec![None; workers]).expect("spawn fleet");
+    let cfg = HiveConfig::default();
+    let started = Instant::now();
+    let outcome = run_sweep(&fleet.addrs(), requests, &cfg).expect("sweep completes");
+    let seconds = started.elapsed().as_secs_f64();
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    assert_eq!(outcome.stats.dead_workers, 0, "healthy fleet");
+    let bytes = outcome.results.iter().map(Json::to_compact_string).collect();
+    (bytes, seconds)
+}
+
+fn main() {
+    print_banner(
+        "perf_hive",
+        "Distributed sweep scaling: one sweep, growing in-process worker fleets",
+    );
+
+    let requests = sweep_requests(
+        "catnap-2x128-64core",
+        true,
+        SyntheticPattern::UniformRandom,
+        &[0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08],
+        512,
+        300,
+        300,
+        7,
+    );
+    // All sizes always run — workers are threads, so oversubscribing a
+    // small host is harmless; the recorded host_parallelism explains any
+    // flat speedup curve.
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let fleet_sizes = [1usize, 2, 4];
+
+    let mut table = Table::new(["workers", "seconds", "speedup", "jobs/s"]);
+    let mut rows = Vec::new();
+    let mut baseline: Option<(Vec<String>, f64)> = None;
+    for &workers in &fleet_sizes {
+        let (bytes, seconds) = pass(workers, &requests);
+        if let Some((canonical, _)) = &baseline {
+            assert_eq!(&bytes, canonical, "results must be byte-identical at any worker count");
+        }
+        let speedup = baseline.as_ref().map_or(1.0, |(_, t1)| t1 / seconds);
+        table.row([
+            workers.to_string(),
+            format!("{seconds:.3}"),
+            format!("{speedup:.2}x"),
+            format!("{:.1}", requests.len() as f64 / seconds),
+        ]);
+        rows.push(Json::Obj(vec![
+            ("workers".to_string(), Json::Int(workers as i64)),
+            ("seconds".to_string(), Json::Num(seconds)),
+            ("speedup".to_string(), Json::Num(speedup)),
+        ]));
+        if baseline.is_none() {
+            baseline = Some((bytes, seconds));
+        }
+    }
+    table.print();
+
+    let doc = Json::Obj(vec![
+        ("jobs".to_string(), Json::Int(requests.len() as i64)),
+        ("config".to_string(), Json::Str("catnap-2x128-64core".to_string())),
+        ("host_parallelism".to_string(), Json::Int(host as i64)),
+        ("byte_identical_across_fleet_sizes".to_string(), Json::Bool(true)),
+        ("passes".to_string(), Json::Arr(rows)),
+    ]);
+    emit_json("perf_hive", &doc);
+}

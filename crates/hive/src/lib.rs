@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! # catnap-hive
+//!
+//! A distributed sweep coordinator for Catnap simulations: partitions a
+//! latency sweep into `catnap-serve` jobs and drives a fleet of workers
+//! over the JSONL protocol, surviving worker crashes, hangs and
+//! stragglers without ever changing a result byte.
+//!
+//! ## Protocol
+//!
+//! The coordinator is a plain `catnap-serve` TCP client. Each worker
+//! connection is validated with a `ping` handshake — the worker's
+//! `fingerprint_schema` must equal this build's
+//! [`catnap::FINGERPRINT_SCHEMA_VERSION`], because a fleet mixing
+//! fingerprint schemas would silently cross-pollute shared caches —
+//! then fed `{"id": N, "job": {…}}` lines one at a time. Workers
+//! spawned by the coordinator itself ([`ProcessFleet`],
+//! `catnap-hive sweep --spawn N`) are retired with the protocol's
+//! `shutdown` command.
+//!
+//! ## Failure model
+//!
+//! Anything transport-shaped — connect refused, request timeout, EOF
+//! mid-request, a garbled reply — releases the job back to the front of
+//! the queue and costs the worker one strike; a worker dies after
+//! [`HiveConfig::max_attempts`] consecutive strikes, sleeping a
+//! deterministic jittered backoff ([`Backoff`]) between them. When the
+//! queue is empty but claims are still in flight, idle workers
+//! speculatively re-dispatch claims older than
+//! [`HiveConfig::straggler_after`], bounded to one claim per worker per
+//! job. Protocol-level *rejections* are deterministic (every worker
+//! would refuse the same line) and fail the sweep immediately.
+//!
+//! ## Determinism argument
+//!
+//! Every job's result is a pure function of the job line: the simulator
+//! is bit-deterministic, and the caches are keyed by fingerprints of
+//! the job itself. Scheduling therefore affects only *who* computes
+//! each result, never the bytes — any worker count and any failure
+//! schedule that completes yields the identical result vector, in job
+//! order. The coordinator *checks* this instead of assuming it:
+//! duplicate completions from speculation must match the canonical
+//! result byte-for-byte or the sweep is poisoned
+//! ([`HiveError::ResultMismatch`]). The only nondeterminism left is in
+//! wall-clock timing, and even the retry jitter replays exactly under a
+//! fixed `CATNAP_SEED` ([`seed_from_env`]).
+//!
+//! ## Divergence bisection
+//!
+//! When two runs that should agree don't, [`bisect_jobs`] finds the
+//! first divergent cycle in `O(log horizon)` state comparisons by
+//! binary-searching over checkpoint-payload digests, resuming from a
+//! retained checkpoint ladder, and attaches an event-level
+//! [`catnap_telemetry::TraceDiff`] over the bracketing window. See
+//! DESIGN.md §15 for the full argument.
+
+pub mod backoff;
+pub mod bisect;
+pub mod coordinator;
+pub mod fleet;
+pub mod queue;
+
+pub use backoff::{seed_from_env, Backoff};
+pub use bisect::{bisect_jobs, first_divergence_linear, BisectReport, WindowReport};
+pub use coordinator::{
+    ping, run_sweep, shutdown_workers, Connection, HiveConfig, HiveError, HiveStats, PingInfo, SweepOutcome,
+};
+pub use fleet::{default_worker_bin, ProcessFleet, ThreadFleet};
+pub use queue::{Claim, Completion, QueueStats, WorkQueue};

@@ -27,10 +27,25 @@
 //! memory without touching the disk cache). A `{"cmd": "stats"}` line
 //! streams the running hit/miss/resume counters.
 //!
+//! Besides job lines, three command lines are recognized:
+//!
+//! * `{"cmd": "stats"}` — the running counters, as above.
+//! * `{"cmd": "ping"}` — liveness/compatibility probe. Responds
+//!   `{"status": "ok", "pong": true, "version": …, "protocol": …,
+//!   "fingerprint_schema": …}` where `version` is the crate version,
+//!   `protocol` is [`PROTOCOL_VERSION`], and `fingerprint_schema` is
+//!   [`catnap::FINGERPRINT_SCHEMA_VERSION`] — a coordinator must refuse
+//!   a worker whose schema disagrees with its own, because the two
+//!   builds would key caches with incompatible fingerprints.
+//! * `{"cmd": "shutdown"}` — acknowledges with
+//!   `{"status": "ok", "bye": true}`, then ends the current stream (and,
+//!   under `--tcp`, the accept loop), letting the process exit cleanly.
+//!   This is how `catnap-hive` retires the local workers it spawned.
+//!
 //! Malformed lines never kill the server: they produce
 //! `{"status": "error", …}` responses with the parse failure.
 
-use catnap::{MultiNocConfig, SimCache};
+use catnap::{MultiNocConfig, SimCache, FINGERPRINT_SCHEMA_VERSION};
 use catnap_bench::{job_fingerprint, run_synthetic_cached, CacheOutcome, SimJob};
 use catnap_noc::NodeId;
 use catnap_traffic::{LoadSchedule, SyntheticPattern};
@@ -39,6 +54,12 @@ use catnap_util::Json;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
+
+/// Version of the line protocol itself: the command set and response
+/// fields. Bumped when either changes shape (v1: jobs + `stats`;
+/// v2: adds `ping` and `shutdown`). Reported by `ping` so a coordinator
+/// can tell what a worker speaks before relying on it.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Parses the `"job"` object of a request into a resolved [`SimJob`].
 ///
@@ -201,6 +222,7 @@ pub struct Server {
     cache: SimCache,
     memo: HashMap<u64, Json>,
     stats: ServeStats,
+    shutting_down: bool,
 }
 
 impl Server {
@@ -210,12 +232,20 @@ impl Server {
             cache,
             memo: HashMap::new(),
             stats: ServeStats::default(),
+            shutting_down: false,
         }
     }
 
     /// Counters so far.
     pub fn stats(&self) -> ServeStats {
         self.stats
+    }
+
+    /// Whether a `{"cmd": "shutdown"}` line has been processed. Once
+    /// set, [`Server::serve_lines`] returns after the acknowledging
+    /// response and [`Server::serve_listener`] stops accepting.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutting_down
     }
 
     /// Processes one request line into one response line (no trailing
@@ -226,20 +256,37 @@ impl Server {
         let id = parsed.as_ref().ok().and_then(|j| j.get("id").cloned()).unwrap_or(Json::Null);
         let response = match parsed {
             Err(e) => self.error_response(id, format!("bad request line: {e}")),
-            Ok(req) => {
-                if req.get("cmd").and_then(Json::as_str) == Some("stats") {
+            Ok(req) => match req.get("cmd").and_then(Json::as_str) {
+                Some("stats") => Json::Obj(vec![
+                    ("id".to_string(), id),
+                    ("status".to_string(), Json::Str("ok".to_string())),
+                    ("stats".to_string(), self.stats.to_json()),
+                ]),
+                Some("ping") => Json::Obj(vec![
+                    ("id".to_string(), id),
+                    ("status".to_string(), Json::Str("ok".to_string())),
+                    ("pong".to_string(), Json::Bool(true)),
+                    ("version".to_string(), Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+                    ("protocol".to_string(), Json::Int(i64::from(PROTOCOL_VERSION))),
+                    (
+                        "fingerprint_schema".to_string(),
+                        Json::Int(i64::from(FINGERPRINT_SCHEMA_VERSION)),
+                    ),
+                ]),
+                Some("shutdown") => {
+                    self.shutting_down = true;
                     Json::Obj(vec![
                         ("id".to_string(), id),
                         ("status".to_string(), Json::Str("ok".to_string())),
-                        ("stats".to_string(), self.stats.to_json()),
+                        ("bye".to_string(), Json::Bool(true)),
                     ])
-                } else {
-                    match req.get("job").ok_or("missing 'job' object".to_string()).and_then(parse_job) {
-                        Err(e) => self.error_response(id, e),
-                        Ok(job) => self.run_job(id, &job),
-                    }
                 }
-            }
+                Some(other) => self.error_response(id, format!("unknown command '{other}'")),
+                None => match req.get("job").ok_or("missing 'job' object".to_string()).and_then(parse_job) {
+                    Err(e) => self.error_response(id, e),
+                    Ok(job) => self.run_job(id, &job),
+                },
+            },
         };
         response.to_compact_string()
     }
@@ -281,7 +328,8 @@ impl Server {
 
     /// Serves a whole request stream: one response line per non-empty
     /// request line, flushed after each so a pipelined client sees
-    /// results as they complete.
+    /// results as they complete. Returns early (after responding) when a
+    /// `shutdown` command arrives.
     ///
     /// # Errors
     ///
@@ -294,26 +342,31 @@ impl Server {
             }
             writeln!(writer, "{}", self.process_line(&line))?;
             writer.flush()?;
+            if self.shutting_down {
+                break;
+            }
         }
         Ok(())
     }
 
-    /// Serves connections from a TCP listener, one at a time, forever
-    /// (callers wanting a bounded accept loop can drive
-    /// [`Server::serve_lines`] themselves). The cache and memo persist
-    /// across connections, so a reconnecting client still dedupes
-    /// against everything served before.
+    /// Serves connections from a TCP listener, one at a time, until a
+    /// connection delivers a `shutdown` command (callers wanting a
+    /// bounded accept loop can drive [`Server::serve_lines`]
+    /// themselves). The cache and memo persist across connections, so a
+    /// reconnecting client still dedupes against everything served
+    /// before.
     ///
     /// # Errors
     ///
     /// [`std::io::Error`] from `accept`; per-connection I/O errors only
     /// end that connection.
     pub fn serve_listener(&mut self, listener: &TcpListener) -> std::io::Result<()> {
-        loop {
+        while !self.shutting_down {
             let (stream, _) = listener.accept()?;
             let reader = BufReader::new(stream.try_clone()?);
             let _ = self.serve_lines(reader, &stream);
         }
+        Ok(())
     }
 }
 
@@ -418,6 +471,124 @@ mod tests {
         assert_eq!(lines[5].get("status").unwrap().as_str(), Some("error"));
         assert_eq!(lines[5].get("id").unwrap().as_str(), Some("bad"));
         assert_eq!(lines[6].get("status").unwrap().as_str(), Some("error"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_request_encoding_roundtrips_through_parse_job() {
+        use catnap_bench::JobRequest;
+        let requests = [
+            JobRequest {
+                config: "catnap-2x128-64core".to_string(),
+                gating: true,
+                threads: 1,
+                pattern: SyntheticPattern::UniformRandom,
+                schedule: LoadSchedule::constant(0.035),
+                packet_bits: 512,
+                warmup: 120,
+                measure: 80,
+                seed: 7,
+            },
+            JobRequest {
+                config: "single-noc-128b".to_string(),
+                gating: false,
+                threads: 2,
+                pattern: SyntheticPattern::HotSpot {
+                    hotspot: NodeId(5),
+                    per_mille: 250,
+                },
+                schedule: LoadSchedule::piecewise(vec![(0, 0.2), (100, 0.01)]),
+                packet_bits: 128,
+                warmup: 100,
+                measure: 50,
+                seed: 99,
+            },
+        ];
+        for req in requests {
+            let parsed = parse_job(&req.to_job_json()).expect("encoded request must parse");
+            // The encoded wire form resolves to the same job: equal
+            // result-cache and warm-up fingerprints.
+            let direct = SimJob {
+                cfg: match req.config.as_str() {
+                    "catnap-2x128-64core" => MultiNocConfig::catnap_2x128_64core(),
+                    "single-noc-128b" => MultiNocConfig::single_noc_128b(),
+                    other => panic!("unexpected preset {other}"),
+                }
+                .gating(req.gating)
+                .step_threads(req.threads)
+                .shard_threads(req.threads),
+                pattern: req.pattern,
+                schedule: req.schedule.clone(),
+                packet_bits: req.packet_bits,
+                warmup: req.warmup,
+                measure: req.measure,
+                seed: req.seed,
+            };
+            assert_eq!(job_fingerprint(&parsed), job_fingerprint(&direct));
+            assert_eq!(parsed.cfg.step_threads, Some(req.threads));
+        }
+    }
+
+    #[test]
+    fn ping_reports_versions_and_shutdown_ends_the_stream() {
+        let (mut server, dir) = test_server("ping");
+        let pong = Json::parse(&server.process_line(r#"{"id":"p","cmd":"ping"}"#)).unwrap();
+        assert_eq!(pong.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(pong.get("pong").unwrap().as_bool(), Some(true));
+        assert_eq!(pong.get("version").unwrap().as_str(), Some(env!("CARGO_PKG_VERSION")));
+        assert_eq!(
+            pong.get("protocol").unwrap().as_u64(),
+            Some(u64::from(PROTOCOL_VERSION))
+        );
+        assert_eq!(
+            pong.get("fingerprint_schema").unwrap().as_u64(),
+            Some(u64::from(FINGERPRINT_SCHEMA_VERSION))
+        );
+        assert!(!server.shutdown_requested(), "ping must not stop the server");
+
+        let unknown = Json::parse(&server.process_line(r#"{"id":"u","cmd":"reboot"}"#)).unwrap();
+        assert_eq!(unknown.get("status").unwrap().as_str(), Some("error"));
+
+        // A stream with lines after the shutdown command: the server
+        // acknowledges the shutdown and never reads further lines.
+        let input = "{\"id\":1,\"cmd\":\"ping\"}\n{\"id\":2,\"cmd\":\"shutdown\"}\n{\"id\":3,\"cmd\":\"ping\"}\n";
+        let mut out = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 2, "no responses after the shutdown ack");
+        assert_eq!(lines[1].get("bye").unwrap().as_bool(), Some(true));
+        assert!(server.shutdown_requested());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_ends_the_tcp_accept_loop() {
+        use std::io::{BufRead, Write};
+        let (server, dir) = test_server("tcp-shutdown");
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut server = server;
+            server.serve_listener(&listener).unwrap();
+            server.shutdown_requested()
+        });
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        writeln!(stream, "{{\"id\":\"bye\",\"cmd\":\"shutdown\"}}").unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"bye\": true") || line.contains("\"bye\":true"),
+            "{line}"
+        );
+        assert!(
+            handle.join().unwrap(),
+            "serve_listener must return with the shutdown flag set"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -9,6 +9,9 @@
 //! `--tcp ADDR` (e.g. `--tcp 127.0.0.1:7420`) it serves the same
 //! protocol over TCP instead, one connection at a time. The cache
 //! directory defaults to `$CATNAP_CACHE_DIR`, then `catnap-cache`.
+//! A `{"cmd": "shutdown"}` line ends the process cleanly in either mode
+//! (this is how a `catnap-hive` coordinator retires spawned workers);
+//! `{"cmd": "ping"}` probes liveness and build compatibility.
 
 use catnap::SimCache;
 use catnap_serve::Server;

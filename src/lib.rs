@@ -24,6 +24,9 @@
 //!   plus the fingerprint-keyed simulation cache front-end.
 //! * [`serve`] — batch simulation server: a JSONL job queue (stdin/stdout
 //!   or TCP) deduplicated through the result cache.
+//! * [`hive`] — distributed sweep coordinator over `catnap-serve`
+//!   workers, with deterministic retry/backoff and cycle-exact
+//!   divergence bisection over checkpoints.
 //! * [`util`] — zero-dependency support library (seedable RNG, minimal
 //!   JSON, mini property-testing runner) keeping the build hermetic.
 //!
@@ -53,6 +56,7 @@
 
 pub use catnap;
 pub use catnap_bench as bench;
+pub use catnap_hive as hive;
 pub use catnap_multicore as multicore;
 pub use catnap_noc as noc;
 pub use catnap_power as power;

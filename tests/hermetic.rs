@@ -182,6 +182,31 @@ fn serve_sources_import_only_std_and_workspace_crates() {
     );
 }
 
+/// The hive coordinator distributes work with nothing but `std` —
+/// sockets and processes from `std`, everything else from workspace
+/// crates. Retry/backoff jitter must come from `catnap-util`'s
+/// `SimRng`, never an external RNG.
+#[test]
+fn hive_sources_import_only_std_and_workspace_crates() {
+    let offenders = scan_std_only(
+        &repo_root().join("crates/hive/src"),
+        &[
+            "catnap",
+            "catnap_bench",
+            "catnap_hive",
+            "catnap_serve",
+            "catnap_telemetry",
+            "catnap_traffic",
+            "catnap_util",
+        ],
+    );
+    assert!(
+        offenders.is_empty(),
+        "catnap-hive imports outside std/core/alloc/crate/workspace:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
 #[test]
 fn lockfile_covers_exactly_the_workspace_crates() {
     let lock = fs::read_to_string(repo_root().join("Cargo.lock")).expect("read Cargo.lock");
@@ -196,6 +221,7 @@ fn lockfile_covers_exactly_the_workspace_crates() {
         [
             "catnap",
             "catnap-bench",
+            "catnap-hive",
             "catnap-multicore",
             "catnap-noc",
             "catnap-power",
