@@ -19,6 +19,12 @@ CATNAP_THREADS=1 cargo test -q --offline
 echo "== test (CATNAP_THREADS=4, pooled subnets and shards) =="
 CATNAP_THREADS=4 cargo test -q --offline
 
+echo "== test (CATNAP_THREADS=4, forced-static dispatch) =="
+# Same pooled suites with the adaptive dispatch controller pinned off:
+# the static crossover path must stay bit-identical too.
+CATNAP_FORCE_STATIC_DISPATCH=1 CATNAP_THREADS=4 \
+  cargo test -q --offline --test sharding --test pool --test determinism
+
 echo "== hive smoke (3 spawned catnap-serve workers over loopback TCP) =="
 # The hive integration tests (tests/hive.rs) already ran above with
 # in-process fleets; this exercises the real multi-process path:

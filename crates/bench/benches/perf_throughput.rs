@@ -24,8 +24,17 @@
 //!   gated workload at forced thread/shard counts 1, 2 and 4, so the
 //!   spatial-sharding trajectory is tracked per thread count even on
 //!   hosts where the attainable speedup is 1.0.
+//! * **adaptive dispatch** — the self-tuning dispatch controller
+//!   (default whenever a pool exists) versus the best static crossover
+//!   configuration for the same workload, plus a `dispatch_decisions`
+//!   section dumping what the controller actually decided (phase and
+//!   subnet arm counts, probes, pool telemetry). The controller only
+//!   picks *how* to schedule — every leg is bit-identical — and
+//!   `adaptive_vs_best_static` tracks how close online tuning gets to
+//!   the hand-picked optimum (floor held at 0.98 by
+//!   tests/perf_smoke.rs).
 
-use catnap::{MultiNoc, MultiNocConfig, SelectorKind};
+use catnap::{DispatchStats, MultiNoc, MultiNocConfig, SelectorKind};
 use catnap_bench::{emit_json, print_banner, Table};
 use catnap_noc::power_state::WakeReason;
 use catnap_noc::{Network, NetworkConfig, NodeId};
@@ -76,9 +85,11 @@ struct PerfThroughput {
     worklist_speedup: f64,
     e2e_light_gated_speedup: f64,
     parallel_subnet_speedup: f64,
+    adaptive_vs_best_static: f64,
     telemetry_recording_slowdown: f64,
     telemetry_events_recorded: u64,
     shard_scaling: Vec<ShardScaling>,
+    dispatch_decisions: DispatchStats,
     scenarios: Vec<Scenario>,
 }
 
@@ -87,9 +98,11 @@ catnap_util::impl_to_json_struct!(PerfThroughput {
     worklist_speedup,
     e2e_light_gated_speedup,
     parallel_subnet_speedup,
+    adaptive_vs_best_static,
     telemetry_recording_slowdown,
     telemetry_events_recorded,
     shard_scaling,
+    dispatch_decisions,
     scenarios,
 });
 
@@ -195,6 +208,46 @@ fn run_timed(
         flit_hops_per_sec: hops as f64 / secs,
         packets_delivered: window.delivered_packets,
     }
+}
+
+/// [`run_timed`] keeping the network alive afterwards so the dispatch
+/// controller's decision counters (plus the pool telemetry folded into
+/// them) can be read back alongside the timing.
+fn run_timed_dispatch(
+    scenario: &str,
+    cfg: MultiNocConfig,
+    offered: f64,
+    warmup: u64,
+    measure: u64,
+) -> (Scenario, DispatchStats) {
+    let mut net = MultiNoc::new(cfg);
+    let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, offered, 512, net.dims(), 7);
+    for _ in 0..warmup {
+        load.drive(&mut net);
+        net.step();
+    }
+    let before = net.snapshot();
+    let start = Instant::now();
+    for _ in 0..measure {
+        load.drive(&mut net);
+        net.step();
+    }
+    let wall = start.elapsed();
+    let after = net.snapshot();
+    black_box(net.cycle());
+    let window = after.delta(&before);
+    let hops: u64 = window.activity_per_subnet.iter().map(|a| a.link_flits).sum();
+    let secs = wall.as_secs_f64().max(1e-12);
+    let s = Scenario {
+        scenario: scenario.to_string(),
+        cycles: measure,
+        wall_ns: wall.as_nanos() as u64,
+        cycles_per_sec: measure as f64 / secs,
+        flit_hops_per_sec: hops as f64 / secs,
+        packets_delivered: window.delivered_packets,
+    };
+    let stats = net.dispatch_stats();
+    (s, stats)
 }
 
 /// [`run_timed`] with [`RecordingSink`]s on every subnet and the policy
@@ -335,6 +388,46 @@ fn main() {
         });
     }
 
+    // --- Adaptive dispatch vs the best static crossover ---
+    // The controller (on by default whenever a pool exists) self-tunes
+    // the subnet fan-out and shard crossovers online; the static legs
+    // pin the historical constants with `.adaptive_dispatch(false)`.
+    // Interleaved best-of-three per leg, same as above: the question is
+    // whether online tuning lands within a whisker of the best
+    // hand-picked configuration, not which leg got the quieter slice of
+    // the host.
+    let adaptive_cfg = || busy(Some(4)).gating(true);
+    let static_cfg = |t: usize| busy(Some(t)).gating(true).adaptive_dispatch(false);
+    let mut static_t1 = run_timed("busy_gated_static_t1", static_cfg(1), 0.20, 500, 6_000, false);
+    let mut static_t4 = run_timed("busy_gated_static_t4", static_cfg(4), 0.20, 500, 6_000, false);
+    let (mut adaptive, mut dispatch_decisions) =
+        run_timed_dispatch("busy_gated_adaptive_t4", adaptive_cfg(), 0.20, 500, 6_000);
+    for _ in 0..2 {
+        let s1 = run_timed("busy_gated_static_t1", static_cfg(1), 0.20, 500, 6_000, false);
+        if s1.cycles_per_sec > static_t1.cycles_per_sec {
+            static_t1 = s1;
+        }
+        let s4 = run_timed("busy_gated_static_t4", static_cfg(4), 0.20, 500, 6_000, false);
+        if s4.cycles_per_sec > static_t4.cycles_per_sec {
+            static_t4 = s4;
+        }
+        let (a, d) = run_timed_dispatch("busy_gated_adaptive_t4", adaptive_cfg(), 0.20, 500, 6_000);
+        if a.cycles_per_sec > adaptive.cycles_per_sec {
+            adaptive = a;
+            dispatch_decisions = d;
+        }
+    }
+    assert_eq!(
+        static_t1.packets_delivered, adaptive.packets_delivered,
+        "adaptive dispatch must be bit-identical to static serial"
+    );
+    assert_eq!(
+        static_t4.packets_delivered, adaptive.packets_delivered,
+        "adaptive dispatch must be bit-identical to static parallel"
+    );
+    let best_static = static_t1.cycles_per_sec.max(static_t4.cycles_per_sec);
+    let adaptive_vs_best_static = adaptive.cycles_per_sec / best_static;
+
     // --- Telemetry overhead: recording sinks vs the NopSink default ---
     // `MultiNoc::new` elaborates to `MultiNoc<NopSink>`, so the
     // `e2e_light_gated_worklist` scenario above IS the disabled-telemetry
@@ -349,7 +442,9 @@ fn main() {
     );
     let telemetry_recording_slowdown = fast.cycles_per_sec / rec.cycles_per_sec;
 
-    let scenarios = vec![hot_full, hot_fast, full, fast, serial, parallel, rec];
+    let scenarios = vec![
+        hot_full, hot_fast, full, fast, serial, parallel, static_t1, static_t4, adaptive, rec,
+    ];
     let mut table = Table::new(["scenario", "cycles", "Mcycles/s", "Mflit-hops/s"]);
     for s in &scenarios {
         table.row([
@@ -371,6 +466,11 @@ fn main() {
         );
     }
     println!(
+        "adaptive vs best static:  {adaptive_vs_best_static:.2}x ({} phase fanouts, {} pooled \
+         subnet steps, {} probes)",
+        dispatch_decisions.phase_parallel, dispatch_decisions.subnet_parallel, dispatch_decisions.probes
+    );
+    println!(
         "telemetry recording cost: {telemetry_recording_slowdown:.2}x slowdown \
          ({telemetry_events_recorded} events; NopSink default pays none of it)"
     );
@@ -380,9 +480,11 @@ fn main() {
         worklist_speedup,
         e2e_light_gated_speedup,
         parallel_subnet_speedup,
+        adaptive_vs_best_static,
         telemetry_recording_slowdown,
         telemetry_events_recorded,
         shard_scaling,
+        dispatch_decisions,
         scenarios,
     };
     emit_json("perf_throughput", &report);

@@ -181,6 +181,16 @@ mod tests {
             config_fingerprint(&base.clone().shard_threads(8)),
             "shard count must not change the key"
         );
+        assert_eq!(
+            fp,
+            config_fingerprint(&base.clone().adaptive_dispatch(false)),
+            "dispatch controller mode must not change the key"
+        );
+        assert_eq!(
+            fp,
+            config_fingerprint(&base.clone().partition_shape(catnap_noc::PartitionShape::Tiles2d)),
+            "partition shape must not change the key"
+        );
         assert_ne!(fp, config_fingerprint(&base.clone().seed(1)));
         assert_ne!(fp, config_fingerprint(&base.clone().rcs_period(7)));
         assert_ne!(fp, config_fingerprint(&base.clone().selector(SelectorKind::RoundRobin)));

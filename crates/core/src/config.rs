@@ -2,7 +2,7 @@
 
 use crate::congestion::{CongestionMetric, MetricKind};
 use crate::gating::GatingPolicy;
-use catnap_noc::{GatingConfig, MeshDims, NetworkConfig};
+use catnap_noc::{GatingConfig, MeshDims, NetworkConfig, PartitionShape};
 use catnap_power::DelayModel;
 
 /// Which subnet-selection policy to instantiate.
@@ -86,6 +86,18 @@ pub struct MultiNocConfig {
     /// this is a pure scheduling knob: results are bit-identical at any
     /// shard count, so it is excluded from the config fingerprint.
     pub shard_threads: Option<usize>,
+    /// Whether the adaptive dispatch controller tunes the subnet/shard
+    /// fan-out crossovers online. `None` enables it whenever a pool
+    /// exists (unless [`crate::dispatch::FORCE_STATIC_ENV`] pins the
+    /// static constants); `Some(false)` pins the static constants;
+    /// `Some(true)` insists. Pure scheduling — results are bit-identical
+    /// either way, so it is excluded from the config fingerprint.
+    pub adaptive_dispatch: Option<bool>,
+    /// Spatial partition shape for the sharded phase-2 sweep. `None`
+    /// picks from the mesh aspect ratio
+    /// ([`PartitionShape::pick`]). Pure scheduling — bit-identical at
+    /// any shape, excluded from the config fingerprint.
+    pub partition_shape: Option<PartitionShape>,
 }
 
 impl MultiNocConfig {
@@ -114,6 +126,8 @@ impl MultiNocConfig {
             seed: 0xCA7,
             step_threads: None,
             shard_threads: None,
+            adaptive_dispatch: None,
+            partition_shape: None,
         }
     }
 
@@ -236,6 +250,22 @@ impl MultiNocConfig {
     /// no spatial sharding; see [`MultiNocConfig::shard_threads`]).
     pub fn shard_threads(mut self, shards: usize) -> Self {
         self.shard_threads = Some(shards);
+        self
+    }
+
+    /// Builder-style: pins the adaptive dispatch controller on or off
+    /// (default: on whenever a pool exists; see
+    /// [`MultiNocConfig::adaptive_dispatch`]).
+    pub fn adaptive_dispatch(mut self, adaptive: bool) -> Self {
+        self.adaptive_dispatch = Some(adaptive);
+        self
+    }
+
+    /// Builder-style: pins the spatial partition shape for the sharded
+    /// phase-2 sweep (default: picked from the mesh aspect ratio; see
+    /// [`MultiNocConfig::partition_shape`]).
+    pub fn partition_shape(mut self, shape: PartitionShape) -> Self {
+        self.partition_shape = Some(shape);
         self
     }
 

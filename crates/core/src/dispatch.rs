@@ -1,0 +1,679 @@
+//! Online adaptive parallel-dispatch controller.
+//!
+//! The Multi-NoC has two scheduling decisions per cycle that used to be
+//! static constants:
+//!
+//! 1. **Subnet fan-out** — step busy subnets as pool jobs, or run the
+//!    plain serial loop on the caller (old crossover: any subnet with
+//!    `busy_routers() >=` [`SUBNET_DISPATCH_MIN`] went to the pool).
+//! 2. **Shard fan-out** — inside a pooled subnet, split phase 2 into
+//!    spatial shards or sweep it serially (old crossover: run set `>=`
+//!    [`catnap_noc::SHARD_DISPATCH_MIN`]).
+//!
+//! Both choices are *pure scheduling*: every arm of every decision
+//! produces bit-identical simulation results (see
+//! `catnap_noc::network::sharded`). The right crossover, however,
+//! depends on the host — core count, cache sizes, contention from
+//! neighbouring processes — so fixed constants leave throughput on the
+//! table (and on a 1-core host the static crossovers can make the
+//! "parallel" path a pure regression).
+//!
+//! [`DispatchController`] replaces the constants with a tiny online
+//! cost model: one pair of EWMA wall-time estimates (serial arm vs
+//! parallel arm) per *decision class and load bucket*.
+//!
+//! * The **subnet class** decides, once per cycle, whether the set of
+//!   busy subnets fans out to the pool at all. It is keyed by the
+//!   number of busy subnets (1..=K, clamped to 8 buckets) and fed the
+//!   cycle-to-cycle wall time from the phase start to the next cycle's
+//!   planning point. Charging the whole cycle, not just the phase,
+//!   matters on an oversubscribed host: a fan-out's worker wake-ups
+//!   bill their context-switch pressure *after* the phase returns, and
+//!   a phase-only clock would book that cost to whichever arm runs
+//!   next. The arm-independent work inside the window (traffic drive,
+//!   NIs, policy) hits both arms equally, so preferences are unbiased.
+//! * The **shard class** decides, per pooled subnet, whether that
+//!   subnet's phase 2 runs the spatial shard sweep (dispatch floor 2)
+//!   or stays serial (floor `usize::MAX`). It is keyed by the subnet's
+//!   busy-router census on a log2 scale and fed each subnet job's wall
+//!   time.
+//!
+//! Each bucket first collects [`MIN_SAMPLES`] observations of both arms
+//! (alternating), then plays the arm with the lower estimate,
+//! re-probing the other arm every [`PROBE_PERIOD`] decisions so a
+//! congested host or a load shift can flip the preference back. Wall
+//! clocks are nondeterministic, so decisions are nondeterministic too —
+//! which is fine precisely because the arms are bit-identical: the
+//! controller only ever chooses *how* to compute the cycle, never
+//! *what* it computes. Controller state is runtime scratch: it is never
+//! serialized into checkpoints and never hashed into the config
+//! fingerprint, exactly like `step_threads` / `shard_threads`.
+
+use catnap_noc::{PartitionShape, SHARD_DISPATCH_MIN};
+use catnap_util::impl_to_json_struct;
+use std::time::Duration;
+
+/// Environment variable pinning the static dispatch crossovers: set to
+/// `1` to disable the adaptive controller process-wide, restoring the
+/// historical constants ([`SHARD_DISPATCH_MIN`] and the subnet busy
+/// floor) regardless of configuration. Scheduling-only escape hatch —
+/// results are bit-identical either way.
+pub const FORCE_STATIC_ENV: &str = "CATNAP_FORCE_STATIC_DISPATCH";
+
+/// Busy-router census at or above which a subnet counts as *busy* — the
+/// static pool-dispatch crossover, and the adaptive controller's floor
+/// for considering a subnet worth a pool job at all. (Private to
+/// `multinoc` before the controller existed.)
+pub const SUBNET_DISPATCH_MIN: usize = 8;
+
+/// EWMA smoothing factor for the per-arm cost estimates.
+const ALPHA: f64 = 0.2;
+
+/// Smoothing factor for *probe* samples. A probe is the only fresh
+/// signal the non-preferred arm ever gets, and probes back off to one
+/// per [`PROBE_PERIOD_MAX`] decisions — at the routine [`ALPHA`] a
+/// stale (wrongly pessimistic) estimate would decay so slowly that a
+/// bucket locked onto the wrong arm takes thousands of decisions to
+/// escape. Weighting the rare probe sample heavily keeps lock-ins
+/// shallow.
+const PROBE_ALPHA: f64 = 0.5;
+
+/// Observations of each arm a bucket collects before trusting its
+/// estimates. The bootstrap alternates arms sample-by-sample rather
+/// than exhausting one arm first: per-cycle costs drift hard early in a
+/// run (caches warming, gating engaging), and back-to-back sampling
+/// would hand whichever arm went second a systematically cheaper
+/// baseline.
+const MIN_SAMPLES: u64 = 4;
+
+/// After bootstrap, a bucket periodically plays the non-preferred arm
+/// to keep its estimate fresh, starting at this period.
+const PROBE_PERIOD: u64 = 32;
+
+/// Probe-period ceiling: each probe that *confirms* the standing
+/// preference doubles the period (a flip resets it to
+/// [`PROBE_PERIOD`]), so a stable bucket's exploration overhead decays
+/// to at most one probe per this many decisions. Keeps the worst-case
+/// steady-state cost of re-playing a losing arm well under 1%.
+const PROBE_PERIOD_MAX: u64 = 1024;
+
+/// Preference hysteresis: the parallel arm must estimate at least this
+/// much cheaper than the serial arm before a bucket prefers it
+/// (`parallel < serial * PARALLEL_EDGE`). Serial is the safe default —
+/// on a host where fan-out genuinely pays, the pool wins by far more
+/// than this margin (2-3x on a multi-core box), while on an
+/// oversubscribed or single-core host the two estimates sit within
+/// measurement noise of each other and an unbiased comparison would
+/// flip-flop (each flip resets the probe backoff, so the noise itself
+/// becomes a standing probe tax).
+const PARALLEL_EDGE: f64 = 0.85;
+
+/// Subnet-class buckets: busy-subnet count 1..=8+ (index `busy - 1`).
+const SUBNET_BUCKETS: usize = 8;
+
+/// Shard-class buckets: `floor(log2(census))`, clamped. 12 buckets
+/// cover censuses up to 4096+ routers.
+const SHARD_BUCKETS: usize = 12;
+
+/// Whether [`FORCE_STATIC_ENV`] pins the static crossovers right now.
+pub fn force_static_dispatch() -> bool {
+    std::env::var_os(FORCE_STATIC_ENV).is_some_and(|v| v == "1")
+}
+
+/// One arm of a dispatch decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arm {
+    /// Step inline on the caller (subnet class) / serial phase 2
+    /// (shard class).
+    Serial,
+    /// Fan out to the pool (subnet class) / spatial shard sweep
+    /// (shard class).
+    Parallel,
+}
+
+/// Exponentially weighted moving average of a cost in nanoseconds,
+/// behind a median-of-3 prefilter: raw per-cycle costs carry huge
+/// one-off outliers (traffic bursts, a preemption landing mid-phase),
+/// and feeding the median of the last three raw samples into the EWMA
+/// keeps a single spike from swinging an arm's estimate by `ALPHA`.
+#[derive(Clone, Copy, Debug, Default)]
+struct Ewma {
+    ns: f64,
+    samples: u64,
+    recent: [f64; 3],
+}
+
+impl Ewma {
+    fn record(&mut self, ns: f64, alpha: f64) {
+        self.recent[(self.samples % 3) as usize] = ns;
+        self.samples += 1;
+        let filtered = match self.samples {
+            1 => ns,
+            2 => (self.recent[0] + self.recent[1]) / 2.0,
+            _ => {
+                let [a, b, c] = self.recent;
+                a.max(b).min(a.min(b).max(c))
+            }
+        };
+        if self.samples == 1 {
+            self.ns = filtered;
+        } else {
+            self.ns += alpha * (filtered - self.ns);
+        }
+    }
+}
+
+/// The two competing cost estimates of one load bucket, plus the
+/// bookkeeping that drives bootstrap and decaying exploration.
+#[derive(Clone, Copy, Debug)]
+struct ArmPair {
+    serial: Ewma,
+    parallel: Ewma,
+    decisions: u64,
+    /// Decisions between probes; doubles while probe samples keep
+    /// confirming the standing preference, resets when one overturns
+    /// it. The decision is made when the probe's sample lands (in
+    /// [`ArmPair::record`]), so a probe that contradicts the standing
+    /// preference restores the fast probing cadence immediately.
+    probe_period: u64,
+    /// Decisions since the last probe.
+    since_probe: u64,
+    /// Preference standing when the last probe was issued (backoff
+    /// comparator).
+    pref_at_probe: Option<Arm>,
+}
+
+impl Default for ArmPair {
+    fn default() -> Self {
+        ArmPair {
+            serial: Ewma::default(),
+            parallel: Ewma::default(),
+            decisions: 0,
+            probe_period: PROBE_PERIOD,
+            since_probe: 0,
+            pref_at_probe: None,
+        }
+    }
+}
+
+impl ArmPair {
+    /// Picks the arm to play: bootstrap under-sampled arms first
+    /// (alternating, serial on ties), then the cheaper estimate,
+    /// probing the other arm on a backoff schedule. Returns the arm and
+    /// whether it was a probe.
+    fn choose(&mut self) -> (Arm, bool) {
+        self.decisions += 1;
+        if self.serial.samples < MIN_SAMPLES || self.parallel.samples < MIN_SAMPLES {
+            // Interleaved bootstrap: play whichever arm has fewer
+            // samples, serial on ties (see [`MIN_SAMPLES`]).
+            return if self.serial.samples <= self.parallel.samples {
+                (Arm::Serial, false)
+            } else {
+                (Arm::Parallel, false)
+            };
+        }
+        let preferred = if self.parallel.ns < self.serial.ns * PARALLEL_EDGE {
+            Arm::Parallel
+        } else {
+            Arm::Serial
+        };
+        self.since_probe += 1;
+        if self.since_probe >= self.probe_period {
+            self.since_probe = 0;
+            self.pref_at_probe = Some(preferred);
+            let probe = match preferred {
+                Arm::Serial => Arm::Parallel,
+                Arm::Parallel => Arm::Serial,
+            };
+            (probe, true)
+        } else {
+            (preferred, false)
+        }
+    }
+
+    fn record(&mut self, arm: Arm, elapsed: Duration, probe: bool) {
+        let ns = elapsed.as_nanos() as f64;
+        let alpha = if probe { PROBE_ALPHA } else { ALPHA };
+        match arm {
+            Arm::Serial => self.serial.record(ns, alpha),
+            Arm::Parallel => self.parallel.record(ns, alpha),
+        }
+        if probe {
+            // Backoff is judged on the probe's own evidence: a sample
+            // that leaves the standing preference intact doubles the
+            // period, one that overturns it snaps back to fast probing.
+            if self.preference() == self.pref_at_probe {
+                self.probe_period = (self.probe_period * 2).min(PROBE_PERIOD_MAX);
+            } else {
+                self.probe_period = PROBE_PERIOD;
+            }
+        }
+    }
+
+    /// The arm this bucket currently prefers, if both are sampled.
+    fn preference(&self) -> Option<Arm> {
+        if self.serial.samples < MIN_SAMPLES || self.parallel.samples < MIN_SAMPLES {
+            return None;
+        }
+        Some(if self.parallel.ns < self.serial.ns * PARALLEL_EDGE {
+            Arm::Parallel
+        } else {
+            Arm::Serial
+        })
+    }
+}
+
+/// One subnet's dispatch choice for this cycle.
+#[derive(Clone, Copy, Debug)]
+pub struct SubnetChoice {
+    /// Step this subnet as a pool job (`false` = inline on the caller).
+    pub dispatch: bool,
+    /// Phase-2 dispatch floor to pass to
+    /// [`catnap_noc::Network::step_sharded_opts`]: `usize::MAX` pins the
+    /// serial phase 2, small values engage the shard sweep.
+    pub min_runset: usize,
+    /// Shard-class bucket the choice was drawn from (`usize::MAX` when
+    /// the shard class was not consulted — idle or inline subnets).
+    pub bucket: usize,
+    /// The shard-class arm played (meaningful only when `dispatch`).
+    pub arm: Arm,
+    /// Whether the shard-class choice was an exploration probe.
+    pub probe: bool,
+}
+
+impl Default for SubnetChoice {
+    fn default() -> Self {
+        SubnetChoice {
+            dispatch: false,
+            min_runset: usize::MAX,
+            bucket: usize::MAX,
+            arm: Arm::Serial,
+            probe: false,
+        }
+    }
+}
+
+/// A planned step-subnets phase: the cycle-global fan-out decision plus
+/// one [`SubnetChoice`] per subnet. Produced by
+/// [`DispatchController::plan_cycle`], handed back (with the phase wall
+/// time) to [`DispatchController::record_phase`], which also recycles
+/// the allocation.
+#[derive(Clone, Debug, Default)]
+pub struct CyclePlan {
+    /// Whether any subnet goes to the pool this cycle.
+    pub fanout: bool,
+    /// Subnet-class bucket the fan-out decision was drawn from (`None`
+    /// when no subnet was busy or the controller is static — nothing to
+    /// learn from this cycle).
+    pub bucket: Option<usize>,
+    /// Whether the fan-out decision was an exploration probe.
+    pub probe: bool,
+    /// Per-subnet choices, indexed by subnet.
+    pub choices: Vec<SubnetChoice>,
+}
+
+/// Counters describing what the controller decided, merged with the
+/// pool's [`catnap_util::PoolStats`] by
+/// [`crate::MultiNoc::dispatch_stats`] and exported as the
+/// `dispatch_decisions` section of the perf benchmark JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DispatchStats {
+    /// Whether the controller is adapting (vs pinned static crossovers).
+    pub adaptive: bool,
+    /// Partition shape the shard sweep uses (`row_bands` / `col_bands`
+    /// / `tiles2d`).
+    pub shape: String,
+    /// Cycles planned.
+    pub cycles: u64,
+    /// Cycles whose step-subnets phase ran the serial loop.
+    pub phase_serial: u64,
+    /// Cycles whose step-subnets phase fanned out to the pool.
+    pub phase_parallel: u64,
+    /// Pooled subnet steps that pinned the serial phase 2.
+    pub subnet_serial: u64,
+    /// Pooled subnet steps that engaged the spatial shard sweep.
+    pub subnet_parallel: u64,
+    /// Decisions that were exploration probes (both classes).
+    pub probes: u64,
+    /// Jobs executed by the pool ([`catnap_util::PoolStats::jobs_run`]).
+    pub pool_jobs_run: u64,
+    /// Successful steals ([`catnap_util::PoolStats::steals`]).
+    pub pool_steals: u64,
+    /// Empty steal scans ([`catnap_util::PoolStats::failed_steals`]).
+    pub pool_failed_steals: u64,
+    /// Injector pops ([`catnap_util::PoolStats::injector_pops`]).
+    pub pool_injector_pops: u64,
+    /// Own-lane pops ([`catnap_util::PoolStats::lane_pops`]).
+    pub pool_lane_pops: u64,
+    /// Condvar parks ([`catnap_util::PoolStats::park_waits`]).
+    pub pool_park_waits: u64,
+}
+
+impl_to_json_struct!(DispatchStats {
+    adaptive,
+    shape,
+    cycles,
+    phase_serial,
+    phase_parallel,
+    subnet_serial,
+    subnet_parallel,
+    probes,
+    pool_jobs_run,
+    pool_steals,
+    pool_failed_steals,
+    pool_injector_pops,
+    pool_lane_pops,
+    pool_park_waits,
+});
+
+/// The feedback-driven dispatch controller (see the module docs).
+///
+/// Runtime scratch owned by [`crate::MultiNoc`]: never serialized,
+/// never fingerprinted — a resumed checkpoint starts with a fresh
+/// controller and re-learns within a few hundred cycles.
+#[derive(Clone, Debug)]
+pub struct DispatchController {
+    adaptive: bool,
+    shape: PartitionShape,
+    subnet_arms: [ArmPair; SUBNET_BUCKETS],
+    shard_arms: [ArmPair; SHARD_BUCKETS],
+    /// Recycled [`CyclePlan`] allocation.
+    spare: CyclePlan,
+    cycles: u64,
+    phase_serial: u64,
+    phase_parallel: u64,
+    subnet_serial: u64,
+    subnet_parallel: u64,
+    probes: u64,
+}
+
+impl DispatchController {
+    /// Builds a controller. `adaptive = false` pins the historical
+    /// static crossovers ([`SUBNET_DISPATCH_MIN`] busy floor to the
+    /// pool, [`SHARD_DISPATCH_MIN`] shard floor) and records nothing.
+    pub fn new(adaptive: bool, shape: PartitionShape) -> Self {
+        DispatchController {
+            adaptive,
+            shape,
+            subnet_arms: [ArmPair::default(); SUBNET_BUCKETS],
+            shard_arms: [ArmPair::default(); SHARD_BUCKETS],
+            spare: CyclePlan::default(),
+            cycles: 0,
+            phase_serial: 0,
+            phase_parallel: 0,
+            subnet_serial: 0,
+            subnet_parallel: 0,
+            probes: 0,
+        }
+    }
+
+    /// Whether the controller is adapting.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// The partition shape pooled subnets shard with.
+    pub fn shape(&self) -> PartitionShape {
+        self.shape
+    }
+
+    /// Plans one step-subnets phase from the per-subnet busy-router
+    /// censuses. Pure scheduling: any plan yields bit-identical results.
+    pub fn plan_cycle(&mut self, censuses: &[usize]) -> CyclePlan {
+        let mut plan = std::mem::take(&mut self.spare);
+        plan.choices.clear();
+        plan.choices.resize(censuses.len(), SubnetChoice::default());
+        plan.bucket = None;
+        plan.probe = false;
+        self.cycles += 1;
+
+        let busy = censuses.iter().filter(|&&c| c >= SUBNET_DISPATCH_MIN).count();
+        if !self.adaptive {
+            // Static mode: the historical behaviour, verbatim — busy
+            // subnets to the pool with the static shard floor.
+            plan.fanout = busy > 0;
+            for (i, &census) in censuses.iter().enumerate() {
+                if census >= SUBNET_DISPATCH_MIN {
+                    plan.choices[i].dispatch = true;
+                    plan.choices[i].min_runset = SHARD_DISPATCH_MIN;
+                }
+            }
+            if plan.fanout {
+                self.phase_parallel += 1;
+            } else {
+                self.phase_serial += 1;
+            }
+            return plan;
+        }
+
+        if busy == 0 {
+            // Nothing worth a pool job; nothing to learn either.
+            plan.fanout = false;
+            self.phase_serial += 1;
+            return plan;
+        }
+
+        let bucket = busy.min(SUBNET_BUCKETS) - 1;
+        let (arm, probe) = self.subnet_arms[bucket].choose();
+        plan.bucket = Some(bucket);
+        plan.probe = probe;
+        plan.fanout = arm == Arm::Parallel;
+        self.probes += u64::from(probe);
+        if plan.fanout {
+            self.phase_parallel += 1;
+            for (i, &census) in censuses.iter().enumerate() {
+                if census < SUBNET_DISPATCH_MIN {
+                    continue;
+                }
+                let sb = shard_bucket(census);
+                let (sarm, sprobe) = self.shard_arms[sb].choose();
+                self.probes += u64::from(sprobe);
+                plan.choices[i] = SubnetChoice {
+                    dispatch: true,
+                    min_runset: match sarm {
+                        Arm::Serial => usize::MAX,
+                        Arm::Parallel => 2,
+                    },
+                    bucket: sb,
+                    arm: sarm,
+                    probe: sprobe,
+                };
+                match sarm {
+                    Arm::Serial => self.subnet_serial += 1,
+                    Arm::Parallel => self.subnet_parallel += 1,
+                }
+            }
+        } else {
+            self.phase_serial += 1;
+        }
+        plan
+    }
+
+    /// Feeds back the wall time of the whole step-subnets phase and
+    /// recycles the plan's allocation. Static plans record nothing.
+    pub fn record_phase(&mut self, plan: CyclePlan, elapsed: Duration) {
+        if let Some(bucket) = plan.bucket {
+            let arm = if plan.fanout { Arm::Parallel } else { Arm::Serial };
+            self.subnet_arms[bucket].record(arm, elapsed, plan.probe);
+        }
+        self.spare = plan;
+    }
+
+    /// Feeds back one pooled subnet job's wall time into the shard
+    /// class.
+    pub fn record_subnet(&mut self, choice: &SubnetChoice, elapsed: Duration) {
+        if choice.bucket < SHARD_BUCKETS {
+            self.shard_arms[choice.bucket].record(choice.arm, elapsed, choice.probe);
+        }
+    }
+
+    /// Controller-side decision counters (pool counters zeroed; the
+    /// Multi-NoC merges its pool's [`catnap_util::PoolStats`] on top).
+    pub fn stats(&self) -> DispatchStats {
+        DispatchStats {
+            adaptive: self.adaptive,
+            shape: self.shape.name().to_string(),
+            cycles: self.cycles,
+            phase_serial: self.phase_serial,
+            phase_parallel: self.phase_parallel,
+            subnet_serial: self.subnet_serial,
+            subnet_parallel: self.subnet_parallel,
+            probes: self.probes,
+            ..DispatchStats::default()
+        }
+    }
+
+    /// The shard-class arm a census's bucket currently prefers (`None`
+    /// while that bucket is still bootstrapping). Diagnostics / tests.
+    pub fn shard_preference(&self, census: usize) -> Option<Arm> {
+        self.shard_arms[shard_bucket(census.max(1))].preference()
+    }
+
+    /// The subnet-class arm a busy-count's bucket currently prefers
+    /// (`None` while bootstrapping). Diagnostics / tests.
+    pub fn phase_preference(&self, busy: usize) -> Option<Arm> {
+        self.subnet_arms[busy.clamp(1, SUBNET_BUCKETS) - 1].preference()
+    }
+}
+
+/// Log2 census bucket for the shard class.
+fn shard_bucket(census: usize) -> usize {
+    debug_assert!(census >= 1);
+    ((usize::BITS - 1 - census.leading_zeros()) as usize).min(SHARD_BUCKETS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dur_us(us: u64) -> Duration {
+        Duration::from_micros(us)
+    }
+
+    #[test]
+    fn static_mode_mirrors_the_historical_crossovers() {
+        let mut c = DispatchController::new(false, PartitionShape::RowBands);
+        let plan = c.plan_cycle(&[0, SUBNET_DISPATCH_MIN - 1, SUBNET_DISPATCH_MIN, 100]);
+        assert!(plan.fanout);
+        assert!(plan.bucket.is_none(), "static plans never learn");
+        let d: Vec<bool> = plan.choices.iter().map(|ch| ch.dispatch).collect();
+        assert_eq!(d, [false, false, true, true]);
+        for ch in plan.choices.iter().filter(|ch| ch.dispatch) {
+            assert_eq!(ch.min_runset, SHARD_DISPATCH_MIN);
+        }
+        let quiet = c.plan_cycle(&[0, 0]);
+        assert!(!quiet.fanout);
+        assert!(quiet.choices.iter().all(|ch| !ch.dispatch));
+    }
+
+    #[test]
+    fn shard_bucket_is_log2_and_clamped() {
+        assert_eq!(shard_bucket(1), 0);
+        assert_eq!(shard_bucket(2), 1);
+        assert_eq!(shard_bucket(3), 1);
+        assert_eq!(shard_bucket(1 << 11), SHARD_BUCKETS - 1);
+        assert_eq!(shard_bucket(usize::MAX), SHARD_BUCKETS - 1);
+    }
+
+    /// Runs `cycles` planned cycles against a synthetic cost model and
+    /// returns how many of the last `tail` fan-out decisions picked the
+    /// parallel arm.
+    fn drive_phase(c: &mut DispatchController, serial_us: u64, parallel_us: u64, cycles: usize, tail: usize) -> usize {
+        let censuses = [64usize, 64, 64, 64];
+        let mut parallel_in_tail = 0;
+        for i in 0..cycles {
+            let plan = c.plan_cycle(&censuses);
+            let cost = if plan.fanout { parallel_us } else { serial_us };
+            if plan.fanout && i >= cycles - tail {
+                parallel_in_tail += 1;
+            }
+            // Feed the shard class too so its bootstrap can't starve.
+            let choices = plan.choices.clone();
+            for ch in choices.iter().filter(|ch| ch.dispatch) {
+                c.record_subnet(ch, dur_us(cost));
+            }
+            c.record_phase(plan, dur_us(cost));
+        }
+        parallel_in_tail
+    }
+
+    #[test]
+    fn converges_to_the_cheaper_phase_arm_both_ways() {
+        let tail = 100;
+        let mut fast_parallel = DispatchController::new(true, PartitionShape::RowBands);
+        let picked = drive_phase(&mut fast_parallel, 100, 10, 400, tail);
+        assert!(picked >= tail - 8, "parallel cheaper but picked only {picked}/{tail}");
+        assert_eq!(fast_parallel.phase_preference(4), Some(Arm::Parallel));
+
+        let mut fast_serial = DispatchController::new(true, PartitionShape::RowBands);
+        let picked = drive_phase(&mut fast_serial, 10, 100, 400, tail);
+        assert!(picked <= 8, "serial cheaper but parallel picked {picked}/{tail}");
+        assert_eq!(fast_serial.phase_preference(4), Some(Arm::Serial));
+    }
+
+    #[test]
+    fn keeps_probing_the_non_preferred_arm() {
+        let mut c = DispatchController::new(true, PartitionShape::RowBands);
+        drive_phase(&mut c, 10, 100, 400, 0);
+        let s = c.stats();
+        assert!(s.probes > 0, "no exploration probes in 400 cycles");
+        // Preferred arm is serial, yet parallel still ran occasionally
+        // after bootstrap.
+        assert!(s.phase_parallel > MIN_SAMPLES, "probes never played the other arm");
+        assert!(s.phase_serial > s.phase_parallel);
+    }
+
+    #[test]
+    fn shard_class_learns_per_bucket() {
+        let mut c = DispatchController::new(true, PartitionShape::Tiles2d);
+        // Small censuses: serial cheaper. Large censuses: sharded cheaper.
+        for _ in 0..400 {
+            let plan = c.plan_cycle(&[16, 1024]);
+            let choices = plan.choices.clone();
+            for (i, ch) in choices.iter().enumerate().filter(|(_, ch)| ch.dispatch) {
+                let cost = match (i, ch.arm) {
+                    (0, Arm::Serial) => 10,
+                    (0, Arm::Parallel) => 50,
+                    (_, Arm::Serial) => 200,
+                    (_, Arm::Parallel) => 40,
+                };
+                c.record_subnet(ch, dur_us(cost));
+            }
+            // Phase class prefers fan-out so the shard class sees a
+            // steady sample stream (not just rare probes).
+            let phase_cost = if plan.fanout { 30 } else { 60 };
+            c.record_phase(plan, dur_us(phase_cost));
+        }
+        assert_eq!(c.shard_preference(16), Some(Arm::Serial));
+        assert_eq!(c.shard_preference(1024), Some(Arm::Parallel));
+        let s = c.stats();
+        assert!(s.subnet_serial > 0 && s.subnet_parallel > 0);
+        assert_eq!(s.shape, "tiles2d");
+    }
+
+    #[test]
+    fn dispatch_stats_serialize_with_pool_counters() {
+        use catnap_util::json::ToJson;
+        let c = DispatchController::new(true, PartitionShape::ColBands);
+        let mut s = c.stats();
+        s.pool_jobs_run = 7;
+        let j = s.to_json();
+        assert_eq!(j.get("adaptive"), Some(&catnap_util::Json::Bool(true)));
+        assert_eq!(j.get("shape"), Some(&catnap_util::Json::Str("col_bands".into())));
+        assert_eq!(j.get("pool_jobs_run"), Some(&catnap_util::Json::Int(7)));
+    }
+
+    #[test]
+    fn force_static_env_reads_the_escape_hatch() {
+        // Other tests never read the env mid-flight (it is sampled at
+        // construction), and a stray static controller is scheduling-
+        // only anyway; keep the mutation window tiny regardless.
+        assert!(!force_static_dispatch());
+        std::env::set_var(FORCE_STATIC_ENV, "1");
+        assert!(force_static_dispatch());
+        std::env::set_var(FORCE_STATIC_ENV, "0");
+        assert!(!force_static_dispatch());
+        std::env::remove_var(FORCE_STATIC_ENV);
+        assert!(!force_static_dispatch());
+    }
+}

@@ -59,6 +59,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod congestion;
+pub mod dispatch;
 pub mod gating;
 pub mod multinoc;
 pub mod ni;
@@ -67,9 +68,11 @@ pub mod rcs;
 pub mod select;
 
 pub use cache::{CacheStats, SimCache};
+pub use catnap_noc::PartitionShape;
 pub use checkpoint::{config_fingerprint, CHECKPOINT_VERSION, FINGERPRINT_SCHEMA_VERSION};
 pub use config::{MultiNocConfig, SelectorKind};
 pub use congestion::{CongestionMetric, MetricKind};
+pub use dispatch::{force_static_dispatch, DispatchController, DispatchStats, FORCE_STATIC_ENV};
 pub use gating::GatingPolicy;
 pub use multinoc::{MultiNoc, RunReport, SkipStats, Snapshot};
 pub use power_report::MultiNocPowerReport;

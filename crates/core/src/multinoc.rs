@@ -4,25 +4,20 @@
 
 use crate::config::{MultiNocConfig, RegionMode, SelectorKind};
 use crate::congestion::{CongestionMetric, LocalDetector, NodeSignals};
+use crate::dispatch::{force_static_dispatch, CyclePlan, DispatchController, DispatchStats};
 use crate::ni::NodeNi;
 use crate::rcs::OrNetwork;
 use crate::select::{congestion_mask, CatnapPriority, RandomSelect, RoundRobin, SubnetSelector};
 use catnap_noc::checkpoint::{get_flit, put_flit};
 use catnap_noc::quiescence::{Quiescence, QuiescenceTracker};
 use catnap_noc::stats::{GatingActivity, RouterActivity};
-use catnap_noc::{Flit, MeshDims, Network, NodeId, PacketDescriptor, RegionMap};
+use catnap_noc::{Flit, MeshDims, Network, NodeId, PacketDescriptor, PartitionShape, RegionMap};
 use catnap_telemetry::{Event, NopSink, Sink, SinkScope, Trace, TraceMeta};
 use catnap_traffic::generator::{PacketSink, TrafficSource};
 use catnap_util::codec::{ByteReader, ByteWriter, CodecError};
 use catnap_util::pool::{effective_parallelism, ThreadPool};
 use std::sync::Arc;
-
-/// Crossover for dispatching a subnet's step to the pool: below this
-/// many non-drained routers the scheduled serial step is cheaper than a
-/// pool hand-off (condvar wake plus a steal handshake), so the subnet
-/// steps inline on the caller. Purely a scheduling threshold —
-/// bit-identity is unconditional.
-const SUBNET_DISPATCH_MIN: usize = 8;
+use std::time::Instant;
 
 /// A multiple network-on-chip with Catnap policies.
 ///
@@ -78,6 +73,22 @@ pub struct MultiNoc<S: Sink = NopSink> {
     /// pool (resolved from `shard_threads`, defaulting to the lane
     /// count). Purely a scheduling knob — bit-identical at any value.
     shards: usize,
+    /// The adaptive (or pinned-static) dispatch controller deciding,
+    /// each cycle, whether busy subnets fan out to the pool and whether
+    /// pooled subnets shard their phase 2. Runtime scratch: never
+    /// serialized, never fingerprinted.
+    dispatch: DispatchController,
+    /// Last cycle's plan and phase start, settled into the controller at
+    /// the *next* cycle's planning point. Attributing the full
+    /// cycle-to-cycle wall time (rather than just the phase) charges
+    /// costs a fan-out defers past the phase itself — worker wake-ups
+    /// and the context-switch pressure they put on an oversubscribed
+    /// host — to the arm that caused them; the arm-independent work in
+    /// between (drive, NIs, policy) lands on both arms equally, so the
+    /// comparison is unbiased.
+    pending_phase: Option<(CyclePlan, Instant)>,
+    /// Reusable per-subnet busy-router census handed to the controller.
+    census_buf: Vec<usize>,
     /// Reusable buffer for per-subnet ejection drains (no per-cycle
     /// allocation).
     eject_buf: Vec<(NodeId, Flit)>,
@@ -195,6 +206,14 @@ impl<S: Sink> MultiNoc<S> {
             .shard_threads
             .unwrap_or_else(|| pool.as_ref().map_or(1, |p| p.parallelism()))
             .max(1);
+        // The dispatch controller self-tunes the subnet/shard fan-out
+        // crossovers unless pinned off (config or the
+        // CATNAP_FORCE_STATIC_DISPATCH escape hatch). Without a pool
+        // there is nothing to decide. Scheduling-only: bit-identical in
+        // every mode, so none of this is fingerprinted or serialized.
+        let adaptive = pool.is_some() && cfg.adaptive_dispatch.unwrap_or(true) && !force_static_dispatch();
+        let shape = cfg.partition_shape.unwrap_or_else(|| PartitionShape::pick(cfg.dims, shards));
+        let dispatch = DispatchController::new(adaptive, shape);
         MultiNoc {
             subnets,
             nis,
@@ -218,6 +237,9 @@ impl<S: Sink> MultiNoc<S> {
             lcs_set: vec![0; k],
             pool,
             shards,
+            dispatch,
+            pending_phase: None,
+            census_buf: Vec::with_capacity(k),
             eject_buf: Vec::new(),
             congested_buf: Vec::with_capacity(k),
             trackers: vec![QuiescenceTracker::new(); k],
@@ -252,6 +274,25 @@ impl<S: Sink> MultiNoc<S> {
     /// Lanes used to step the subnets (1 = serial).
     pub fn step_parallelism(&self) -> usize {
         self.pool.as_ref().map_or(1, |p| p.parallelism())
+    }
+
+    /// What the dispatch controller decided so far, merged with the
+    /// stepping pool's lane counters. Diagnostics only — never
+    /// serialized. Note that a pool shared via
+    /// [`MultiNoc::with_shared_pool`] accumulates counters across every
+    /// instance using it.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        let mut s = self.dispatch.stats();
+        if let Some(pool) = &self.pool {
+            let p = pool.stats();
+            s.pool_jobs_run = p.jobs_run;
+            s.pool_steals = p.steals;
+            s.pool_failed_steals = p.failed_steals;
+            s.pool_injector_pops = p.injector_pops;
+            s.pool_lane_pops = p.lane_pops;
+            s.pool_park_waits = p.park_waits;
+        }
+        s
     }
 
     /// Disables (or re-enables) *every* cycle-skipping shortcut: the
@@ -413,29 +454,57 @@ impl<S: Sink> MultiNoc<S> {
         // detectors, OR networks) happens serially around this point.
         match &self.pool {
             Some(pool) => {
-                // Crossover dispatch: a subnet with next to no phase-2
-                // work (its routers all but drained) steps inline — a
-                // pool hand-off costs more than the step itself — while
-                // busy subnets go to the pool, each further splitting
-                // into spatial shards that idle lanes steal. Both paths
-                // are bit-identical, so the split is pure scheduling.
+                // Crossover dispatch, planned by the controller: it
+                // decides whether the cycle's busy subnets fan out to
+                // the pool at all, and — per pooled subnet — whether
+                // phase 2 engages the spatial shard sweep. Idle subnets
+                // always step inline (a pool hand-off costs more than
+                // the step itself). All arms are bit-identical, so the
+                // plan is pure scheduling; the wall times fed back only
+                // steer future plans.
                 let shards = self.shards;
                 let pool_ref: &ThreadPool = pool;
-                let jobs: Vec<_> = self
-                    .subnets
-                    .iter_mut()
-                    .filter_map(|net| {
-                        if net.busy_routers() < SUBNET_DISPATCH_MIN {
-                            net.step();
-                            None
-                        } else {
-                            Some(move || net.step_sharded(pool_ref, shards))
-                        }
-                    })
-                    .collect();
-                if !jobs.is_empty() {
-                    pool_ref.run(jobs);
+                // Settle last cycle's sample first: recording recycles
+                // the plan's allocation for `plan_cycle` below.
+                if let Some((prev, started)) = self.pending_phase.take() {
+                    self.dispatch.record_phase(prev, started.elapsed());
                 }
+                self.census_buf.clear();
+                self.census_buf.extend(self.subnets.iter().map(|net| net.busy_routers()));
+                let plan = self.dispatch.plan_cycle(&self.census_buf);
+                let shape = self.dispatch.shape();
+                let phase_start = Instant::now();
+                if plan.fanout {
+                    let choices = &plan.choices[..];
+                    let jobs: Vec<_> = self
+                        .subnets
+                        .iter_mut()
+                        .enumerate()
+                        .filter_map(|(i, net)| {
+                            let ch = choices[i];
+                            if ch.dispatch {
+                                Some(move || {
+                                    let job_start = Instant::now();
+                                    net.step_sharded_opts(pool_ref, shards, shape, ch.min_runset);
+                                    (i, job_start.elapsed())
+                                })
+                            } else {
+                                net.step();
+                                None
+                            }
+                        })
+                        .collect();
+                    if !jobs.is_empty() {
+                        for (i, elapsed) in pool_ref.run(jobs) {
+                            self.dispatch.record_subnet(&choices[i], elapsed);
+                        }
+                    }
+                } else {
+                    for net in &mut self.subnets {
+                        net.step();
+                    }
+                }
+                self.pending_phase = Some((plan, phase_start));
             }
             None => {
                 for net in &mut self.subnets {
@@ -816,6 +885,9 @@ impl<S: Sink> MultiNoc<S> {
     pub(crate) fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
         let k = self.cfg.subnets;
         let nodes = self.cfg.dims.num_nodes();
+        // An unsettled phase sample would span the whole load — drop it
+        // rather than feed the controller a nonsense cost.
+        self.pending_phase = None;
         self.cycle = r.get_u64()?;
         self.generated_packets = r.get_u64()?;
         self.delivered_packets = r.get_u64()?;

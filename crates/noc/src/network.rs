@@ -16,6 +16,8 @@ use std::collections::BinaryHeap;
 
 mod sharded;
 
+pub use sharded::SHARD_DISPATCH_MIN;
+
 /// A single physical network-on-chip (one subnet of a Multi-NoC).
 ///
 /// The network advances in discrete cycles via [`Network::step`]. Flits are

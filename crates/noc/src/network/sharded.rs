@@ -1,15 +1,29 @@
-//! Spatially sharded phase 2: the mesh is partitioned into contiguous
-//! row bands and each band's slice of the cycle's run set is ticked by
-//! one pool lane, **bit-identically** to the serial ascending-index
-//! sweep in [`Network::finish_scheduled_phase2`].
+//! Spatially sharded phase 2: the mesh is partitioned into disjoint
+//! spatial shards — row bands, column bands, or 2-D tiles
+//! ([`PartitionShape`]) — and each shard's slice of the cycle's run set
+//! is ticked by one pool lane, **bit-identically** to the serial
+//! ascending-index sweep in [`Network::finish_scheduled_phase2`].
 //!
-//! Why this can be exact (DESIGN.md §14 carries the full argument):
+//! Every shard is a list of contiguous router-index *segments* (a row
+//! band is one segment; a column band or tile is one segment per row it
+//! spans), and the segments of all shards tile `0..n` exactly. The
+//! sweep hands each lane mutable slices of exactly its own segments, so
+//! the partition shape never touches safety; what it changes is merge
+//! order, handled below.
+//!
+//! Why this can be exact (DESIGN.md §14/§16 carry the full argument):
 //!
 //! * Flits, credits and ejections produced by a phase-2 tick are
 //!   *staged* — nothing a router emits this cycle is observable by any
-//!   other router until the next cycle edge (§9). Bands therefore only
-//!   collect them; a serial merge in band order reproduces the exact
-//!   ascending-source ordering of the staging buffers.
+//!   other router until the next cycle edge (§9). Shards therefore only
+//!   collect them, recording a buffer watermark at the end of each
+//!   segment. The serial merge walks all segments in ascending segment
+//!   order (which interleaves across shards for non-contiguous shapes)
+//!   and splices each segment's window of its shard's buffers back
+//!   together — routers within a segment are ticked ascending, and the
+//!   segments tile the index space ascending, so the concatenation
+//!   restores the exact ascending-source ordering of the staging
+//!   buffers, for any partition shape.
 //! * The only same-cycle coupling between ticking routers is the
 //!   neighbour-acceptance mask read: router `i` reads neighbour `j`'s
 //!   mask *post-tick* if `j < i` and *pre-tick* otherwise. Without port
@@ -19,11 +33,12 @@
 //!   mid-phase wake *requests* land on sleeping (mask 0) or waking
 //!   (mask 0) routers and leave the mask 0 for the rest of the cycle.
 //!   Both mask generations are therefore snapshotted up front and read
-//!   immutably by every band.
-//! * Wake pings raised by ticking routers are not applied by the bands;
-//!   each band records `(source index, direction)` and the merge
-//!   replays them serially in ascending source order, replicating the
-//!   serial sweep's interleaving of ping application and deferred-
+//!   immutably by every shard — this argument never depended on shard
+//!   geometry.
+//! * Wake pings raised by ticking routers are not applied by the
+//!   shards; each shard records `(source index, direction)` and the
+//!   merge replays them serially in ascending source order, replicating
+//!   the serial sweep's interleaving of ping application and deferred-
 //!   router ticks exactly (the replay keeps a pending set of woken
 //!   deferred routers and ticks each one at its canonical position).
 //!
@@ -34,26 +49,46 @@
 
 use super::{Network, NO_NEIGHBOR};
 use crate::flit::Flit;
-use crate::geometry::{NodeId, Port, NUM_PORTS};
+use crate::geometry::{NodeId, PartitionShape, Port, NUM_PORTS};
 use crate::power_state::WakeReason;
 use crate::router::{Router, RouterOutput};
 use catnap_telemetry::Sink;
 use catnap_util::ThreadPool;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::ops::Range;
 
 /// Below this run-set size the serial phase 2 wins: fan-out costs a
 /// condvar wake and a steal handshake per band, which only pays for
 /// itself when each band has a meaningful pile of routers to tick.
-const SHARD_DISPATCH_MIN: usize = 48;
+/// This is the *static* crossover — [`Network::step_sharded`] applies
+/// it verbatim, while the adaptive dispatch controller (`catnap` crate)
+/// passes its own learned threshold to
+/// [`Network::step_sharded_opts`]. Purely scheduling; bit-identity is
+/// unconditional.
+pub const SHARD_DISPATCH_MIN: usize = 48;
 
-/// Per-band output collection: everything a band's sweep would have
+/// Cumulative watermarks into a shard's output buffers, recorded after
+/// each swept segment so the merge can splice exactly that segment's
+/// window back into the global staging buffers.
+#[derive(Clone, Copy, Debug, Default)]
+struct SegMark {
+    links: usize,
+    credits: usize,
+    ejected: usize,
+    pings: usize,
+    next_hot: usize,
+    resched: usize,
+    stepped: usize,
+}
+
+/// Per-shard output collection: everything a shard's sweep would have
 /// pushed into the network-global staging buffers, kept local so the
 /// sweep runs without synchronisation and the serial merge can splice
 /// the buffers back together in canonical (ascending source) order.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct BandScratch {
-    /// Router-step scratch, reused across the band's routers.
+    /// Router-step scratch, reused across the shard's routers.
     out: RouterOutput,
     /// Link-stage entries `(dst router, in port, flit)`.
     links: Vec<(usize, Port, Flit)>,
@@ -73,9 +108,48 @@ pub(crate) struct BandScratch {
     router_runs: u64,
     idle_runs: u64,
     stalled_runs: u64,
-    /// Ticked routers, for the telemetry sweep (ascending within the
-    /// band by construction).
+    /// Ticked routers, for the telemetry sweep (ascending within each
+    /// segment by construction).
     stepped: Vec<u32>,
+    /// One cumulative watermark per swept segment, in this shard's
+    /// (ascending) segment order.
+    seg_marks: Vec<SegMark>,
+    /// Merge cursor: how many of this shard's segments have been
+    /// spliced back so far.
+    merged: usize,
+}
+
+impl BandScratch {
+    /// Records the end-of-segment watermark; called by the sweeping lane
+    /// after each segment.
+    fn mark(&mut self) {
+        self.seg_marks.push(SegMark {
+            links: self.links.len(),
+            credits: self.credits.len(),
+            ejected: self.ejected.len(),
+            pings: self.pings.len(),
+            next_hot: self.next_hot.len(),
+            resched: self.resched.len(),
+            stepped: self.stepped.len(),
+        });
+    }
+
+    /// Resets all buffers and counters after the merge consumed them.
+    fn clear(&mut self) {
+        self.links.clear();
+        self.credits.clear();
+        self.ejected.clear();
+        self.pings.clear();
+        self.next_hot.clear();
+        self.resched.clear();
+        self.stepped.clear();
+        self.seg_marks.clear();
+        self.merged = 0;
+        self.drained_delta = 0;
+        self.router_runs = 0;
+        self.idle_runs = 0;
+        self.stalled_runs = 0;
+    }
 }
 
 /// Reusable buffers and diagnostics of the sharded stepper, owned by
@@ -89,13 +163,24 @@ pub(crate) struct ShardRuntime {
     /// Predicted post-tick masks: `mask_pre` overwritten at run-set
     /// members with [`Router::port_active_mask_after_tick`].
     mask_post: Vec<u8>,
-    /// One scratch per band, drained (and thereby cleared) by the merge.
+    /// One scratch per shard, drained (and thereby cleared) by the merge.
     bands: Vec<BandScratch>,
-    /// Ticked routers across bands and replay, for the telemetry sweep.
+    /// Cached partition, flattened to `(owning shard, router range)`
+    /// segments sorted ascending by start — the segments tile `0..n`
+    /// exactly. Rebuilt only when `parts_key` changes.
+    seg_order: Vec<(u32, Range<usize>)>,
+    /// `(shape, shard count)` the cached partition was built for.
+    parts_key: Option<(PartitionShape, usize)>,
+    /// Number of shards in the cached partition (post-clamping).
+    nparts: usize,
+    /// Owning shard of each *non-empty* segment this cycle, in segment
+    /// order; the merge walks this to restore ascending-source order.
+    merge_plan: Vec<u32>,
+    /// Ticked routers across shards and replay, for the telemetry sweep.
     stepped: Vec<u32>,
     /// Merged wake pings in ascending source order.
     pings: Vec<(u32, Port)>,
-    /// Cycles that actually ran the parallel band sweep (fallbacks and
+    /// Cycles that actually ran the parallel sweep (fallbacks and
     /// below-threshold cycles excluded). Diagnostics only: tests use it
     /// to assert the sharded path truly engaged.
     engaged_steps: u64,
@@ -122,13 +207,27 @@ impl<S: Sink> Network<S> {
     }
 
     /// Advances the network by one cycle, ticking phase 2 in up to
-    /// `shards` spatial bands on `pool`. Bit-identical to
+    /// `shards` spatial shards on `pool`. Bit-identical to
     /// [`Network::step`] at every shard count — falls back to it
     /// outright when sharding cannot apply (see
     /// [`Network::shardable`]), when `shards <= 1`, when the pool is
     /// serial, or when this cycle's run set is too small to pay for
-    /// fan-out.
+    /// fan-out. Uses the static [`SHARD_DISPATCH_MIN`] crossover and a
+    /// partition shape picked from the mesh aspect ratio
+    /// ([`PartitionShape::pick`]).
     pub fn step_sharded(&mut self, pool: &ThreadPool, shards: usize) {
+        let shape = PartitionShape::pick(self.cfg.dims, shards);
+        self.step_sharded_opts(pool, shards, shape, SHARD_DISPATCH_MIN);
+    }
+
+    /// [`Network::step_sharded`] with explicit scheduling knobs: the
+    /// partition `shape` and the minimum run-set size `min_runset` at
+    /// which fan-out engages (`usize::MAX` forces the serial phase 2,
+    /// small values force the parallel sweep). Both knobs are pure
+    /// scheduling — results are bit-identical to [`Network::step`] for
+    /// every combination; the adaptive dispatch controller in the
+    /// `catnap` crate drives them from learned cost estimates.
+    pub fn step_sharded_opts(&mut self, pool: &ThreadPool, shards: usize, shape: PartitionShape, min_runset: usize) {
         if self.force_full_step || shards <= 1 || pool.parallelism() <= 1 || !self.shardable() {
             self.step();
             return;
@@ -142,7 +241,7 @@ impl<S: Sink> Network<S> {
         rt.runset.extend(todo.iter().map(|&Reverse(i)| i));
         rt.runset.sort_unstable();
         todo.clear();
-        if rt.runset.len() < SHARD_DISPATCH_MIN {
+        if rt.runset.len() < min_runset.max(2) {
             for &i in &rt.runset {
                 todo.push(Reverse(i));
             }
@@ -153,7 +252,7 @@ impl<S: Sink> Network<S> {
         self.todo = todo;
 
         // Snapshot both mask generations (see the module docs): every
-        // band reads neighbours through these immutable snapshots
+        // shard reads neighbours through these immutable snapshots
         // instead of the live `active_mask` cache.
         rt.mask_pre.clear();
         rt.mask_pre.extend_from_slice(&self.active_mask);
@@ -163,31 +262,51 @@ impl<S: Sink> Network<S> {
             rt.mask_post[i as usize] = self.routers[i as usize].port_active_mask_after_tick();
         }
 
-        let ranges = self.cfg.dims.row_bands(shards);
-        if rt.bands.len() < ranges.len() {
-            rt.bands.resize_with(ranges.len(), BandScratch::default);
+        // (Re)build the flattened segment partition when the shape or
+        // shard count changes; steady state reuses the cache.
+        if rt.parts_key != Some((shape, shards)) {
+            let parts = self.cfg.dims.partition(shape, shards);
+            rt.seg_order.clear();
+            for (s, segs) in parts.iter().enumerate() {
+                for seg in segs {
+                    rt.seg_order.push((s as u32, seg.clone()));
+                }
+            }
+            rt.seg_order.sort_unstable_by_key(|(_, r)| r.start);
+            rt.nparts = parts.len();
+            rt.parts_key = Some((shape, shards));
+        }
+        if rt.bands.len() < rt.nparts {
+            rt.bands.resize_with(rt.nparts, BandScratch::default);
         }
 
-        // Split the per-router state vectors into disjoint band slices
-        // and sweep the bands in parallel. Everything a band touches is
-        // either its own slice or an immutable snapshot.
+        // Split the per-router state vectors into disjoint segment
+        // slices (the segments tile `0..n` ascending, so consumption is
+        // strictly sequential), group each shard's segments, and sweep
+        // the shards in parallel. Everything a lane touches is either
+        // its own slices or an immutable snapshot.
         {
-            let n = self.cfg.dims.num_nodes();
-            let cycle = self.cycle;
-            let adj = &self.adj[..];
-            let route_lut = &self.route_lut[..];
-            let mask_pre = &rt.mask_pre[..];
-            let mask_post = &rt.mask_post[..];
-            let telemetry = S::ENABLED;
-
+            let ctx = SweepCtx {
+                adj: &self.adj[..],
+                route_lut: &self.route_lut[..],
+                mask_pre: &rt.mask_pre[..],
+                mask_post: &rt.mask_post[..],
+                n: self.cfg.dims.num_nodes(),
+                cycle: self.cycle,
+                telemetry: S::ENABLED,
+            };
             let mut routers_rest = &mut self.routers[..];
             let mut cursor_rest = &mut self.cursor[..];
             let mut hot_rest = &mut self.hot_stamp[..];
             let mut mask_rest = &mut self.active_mask[..];
             let mut runset_rest = &rt.runset[..];
-            let mut bands_rest = &mut rt.bands[..];
-            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
-            for range in &ranges {
+            rt.merge_plan.clear();
+            let mut per_shard: Vec<Vec<SegSlices<'_>>> = Vec::new();
+            per_shard.resize_with(rt.nparts, Vec::new);
+            let mut consumed = 0usize;
+            for (owner, range) in &rt.seg_order {
+                debug_assert_eq!(range.start, consumed, "segments must tile 0..n ascending");
+                consumed = range.end;
                 let len = range.end - range.start;
                 let (routers, rr) = routers_rest.split_at_mut(len);
                 routers_rest = rr;
@@ -200,62 +319,80 @@ impl<S: Sink> Network<S> {
                 let split = runset_rest.partition_point(|&i| (i as usize) < range.end);
                 let (runset, rsr) = runset_rest.split_at(split);
                 runset_rest = rsr;
-                let (scratch, br) = bands_rest.split_first_mut().expect("one scratch per band");
-                bands_rest = br;
                 if runset.is_empty() {
                     continue;
                 }
-                let base = range.start;
+                rt.merge_plan.push(*owner);
+                per_shard[*owner as usize].push(SegSlices {
+                    base: range.start,
+                    routers,
+                    cursor,
+                    hot_stamp,
+                    mask,
+                    runset,
+                });
+            }
+            debug_assert_eq!(consumed, ctx.n, "partition must cover the whole mesh");
+
+            let mut bands_rest = &mut rt.bands[..];
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(rt.nparts);
+            for segs in per_shard {
+                let (scratch, br) = bands_rest.split_first_mut().expect("one scratch per shard");
+                bands_rest = br;
+                if segs.is_empty() {
+                    continue;
+                }
                 jobs.push(Box::new(move || {
-                    band_sweep(BandSlices {
-                        base,
-                        routers,
-                        cursor,
-                        hot_stamp,
-                        mask,
-                        runset,
-                        adj,
-                        route_lut,
-                        mask_pre,
-                        mask_post,
-                        n,
-                        cycle,
-                        telemetry,
-                        scratch,
-                    })
+                    for seg in segs {
+                        band_sweep(seg, ctx, scratch);
+                        scratch.mark();
+                    }
                 }));
             }
             pool.run(jobs);
         }
 
-        // Serial merge in band order: band b's routers all precede band
-        // b+1's, so concatenating per-band output restores the exact
-        // ascending-source ordering the serial sweep would have built.
+        // Serial merge in ascending segment order: the merge plan names
+        // each non-empty segment's owning shard, and the watermark pair
+        // `[seg_marks[merged-1], seg_marks[merged])` brackets exactly
+        // that segment's window of the shard's buffers. Routers ascend
+        // within a segment and segments ascend globally, so splicing the
+        // windows in plan order restores the exact ascending-source
+        // ordering the serial sweep would have built — for any shape.
         rt.stepped.clear();
         rt.pings.clear();
-        for b in &mut rt.bands {
-            for (nbr, in_port, flit) in b.links.drain(..) {
+        for &owner in &rt.merge_plan {
+            let b = &mut rt.bands[owner as usize];
+            let prev = if b.merged == 0 {
+                SegMark::default()
+            } else {
+                b.seg_marks[b.merged - 1]
+            };
+            let cur = b.seg_marks[b.merged];
+            b.merged += 1;
+            for &(nbr, in_port, flit) in &b.links[prev.links..cur.links] {
                 self.inflight[nbr * NUM_PORTS + in_port.index()] += 1;
                 self.link_stage.push((nbr, in_port, flit));
             }
-            self.staged_credits.append(&mut b.credits);
-            for (node, flit) in b.ejected.drain(..) {
+            self.staged_credits.extend_from_slice(&b.credits[prev.credits..cur.credits]);
+            for i in prev.ejected..cur.ejected {
+                let (node, flit) = b.ejected[i];
                 self.record_ejection(node, flit);
             }
-            self.next_hot.append(&mut b.next_hot);
-            for (due, idx, stamp) in b.resched.drain(..) {
+            self.next_hot.extend_from_slice(&b.next_hot[prev.next_hot..cur.next_hot]);
+            for &(due, idx, stamp) in &b.resched[prev.resched..cur.resched] {
                 self.wakeups.push(Reverse((due, idx, stamp)));
             }
+            rt.stepped.extend_from_slice(&b.stepped[prev.stepped..cur.stepped]);
+            rt.pings.extend_from_slice(&b.pings[prev.pings..cur.pings]);
+        }
+        for b in &mut rt.bands {
+            debug_assert_eq!(b.merged, b.seg_marks.len(), "merge must drain every segment");
             self.nondrained -= b.drained_delta as usize;
             self.sched.router_runs += b.router_runs;
             self.sched.idle_runs += b.idle_runs;
             self.sched.stalled_runs += b.stalled_runs;
-            b.drained_delta = 0;
-            b.router_runs = 0;
-            b.idle_runs = 0;
-            b.stalled_runs = 0;
-            rt.stepped.append(&mut b.stepped);
-            rt.pings.append(&mut b.pings);
+            b.clear();
         }
 
         // Replay the deferred wake pings at their canonical positions.
@@ -349,16 +486,22 @@ impl<S: Sink> Network<S> {
     }
 }
 
-/// Everything one band's sweep touches: its own mutable slices of the
-/// per-router state (offset by `base`), the cycle's sorted run-set
-/// segment, and the shared immutable snapshots.
-struct BandSlices<'a> {
+/// One segment's mutable slices of the per-router state (offset by
+/// `base`) plus its slice of the cycle's sorted run set. A shard's lane
+/// receives one of these per segment it owns.
+struct SegSlices<'a> {
     base: usize,
     routers: &'a mut [Router],
     cursor: &'a mut [u64],
     hot_stamp: &'a mut [u64],
     mask: &'a mut [u8],
     runset: &'a [u32],
+}
+
+/// The shared immutable context every sweeping lane reads: adjacency,
+/// the route LUT, both mask-generation snapshots, and cycle scalars.
+#[derive(Clone, Copy)]
+struct SweepCtx<'a> {
     adj: &'a [[usize; NUM_PORTS]],
     route_lut: &'a [Port],
     mask_pre: &'a [u8],
@@ -366,16 +509,15 @@ struct BandSlices<'a> {
     n: usize,
     cycle: u64,
     telemetry: bool,
-    scratch: &'a mut BandScratch,
 }
 
-/// One band's phase-2 sweep: [`Network::run_scheduled_router`] in pure
-/// per-band form — identical tick logic and output ordering, with all
-/// cross-band effects (staging pushes, wake pings, scheduler queues)
-/// collected into the band's [`BandScratch`] instead of applied.
-fn band_sweep(s: BandSlices<'_>) {
-    let b = s.scratch;
-    let cycle = s.cycle;
+/// One segment's phase-2 sweep: [`Network::run_scheduled_router`] in
+/// pure per-segment form — identical tick logic and output ordering,
+/// with all cross-segment effects (staging pushes, wake pings,
+/// scheduler queues) collected into the owning shard's [`BandScratch`]
+/// instead of applied.
+fn band_sweep(s: SegSlices<'_>, ctx: SweepCtx<'_>, b: &mut BandScratch) {
+    let cycle = ctx.cycle;
     for &idxu in s.runset {
         let gi = idxu as usize;
         let li = gi - s.base;
@@ -386,12 +528,12 @@ fn band_sweep(s: BandSlices<'_>) {
             s.routers[li].idle_tick();
             s.cursor[li] = cycle;
             s.mask[li] = s.routers[li].port_active_mask();
-            debug_assert_eq!(s.mask[li], s.mask_post[gi], "post-tick mask mispredicted");
+            debug_assert_eq!(s.mask[li], ctx.mask_post[gi], "post-tick mask mispredicted");
             if let Some(dt) = s.routers[li].next_wake_completion() {
                 b.resched.push((cycle + dt, idxu, cycle));
             }
         } else {
-            let adj = s.adj[gi];
+            let adj = ctx.adj[gi];
             let node = s.routers[li].node();
             // The neighbour-generation rule: lower-indexed neighbours
             // read post-tick (the serial scan has notionally passed
@@ -403,7 +545,11 @@ fn band_sweep(s: BandSlices<'_>) {
                 neighbor_active[pi] = match adj[pi] {
                     NO_NEIGHBOR => false,
                     nbr => {
-                        let m = if nbr < gi { s.mask_post[nbr] } else { s.mask_pre[nbr] };
+                        let m = if nbr < gi {
+                            ctx.mask_post[nbr]
+                        } else {
+                            ctx.mask_pre[nbr]
+                        };
                         m & (1u8 << port.opposite().index()) != 0
                     }
                 };
@@ -413,7 +559,7 @@ fn band_sweep(s: BandSlices<'_>) {
             s.routers[li].step(&neighbor_active, &mut out);
             s.cursor[li] = cycle;
             s.mask[li] = s.routers[li].port_active_mask();
-            debug_assert_eq!(s.mask[li], s.mask_post[gi], "post-tick mask mispredicted");
+            debug_assert_eq!(s.mask[li], ctx.mask_post[gi], "post-tick mask mispredicted");
             if out.outbound.is_empty() && out.credits.is_empty() && out.ejected.is_empty() && out.wake_pings.is_empty()
             {
                 b.stalled_runs += 1;
@@ -424,7 +570,7 @@ fn band_sweep(s: BandSlices<'_>) {
                 debug_assert!(nbr != NO_NEIGHBOR, "link to nowhere");
                 let in_port = ob.out_port.opposite();
                 let mut flit = ob.flit;
-                flit.lookahead = s.route_lut[nbr * s.n + flit.dst.index()];
+                flit.lookahead = ctx.route_lut[nbr * ctx.n + flit.dst.index()];
                 b.links.push((nbr, in_port, flit));
             }
             for cr in &out.credits {
@@ -446,14 +592,14 @@ fn band_sweep(s: BandSlices<'_>) {
                     b.resched.push((cycle + dt, idxu, cycle));
                 }
             } else {
-                // `mark_next`, band-locally: stamp and queue for the
+                // `mark_next`, segment-locally: stamp and queue for the
                 // next cycle (each run-set member runs exactly once, so
                 // the dedup guard always passes).
                 s.hot_stamp[li] = cycle + 1;
                 b.next_hot.push(idxu);
             }
         }
-        if s.telemetry {
+        if ctx.telemetry {
             b.stepped.push(idxu);
         }
     }
@@ -462,7 +608,7 @@ fn band_sweep(s: BandSlices<'_>) {
 #[cfg(test)]
 mod tests {
     use crate::config::NetworkConfig;
-    use crate::geometry::{MeshDims, NodeId};
+    use crate::geometry::{MeshDims, NodeId, PartitionShape};
     use crate::network::Network;
     use catnap_util::codec::ByteWriter;
     use catnap_util::{SimRng, ThreadPool};
@@ -485,6 +631,18 @@ mod tests {
     /// stepping the first serially and the second through the sharded
     /// path, asserting byte-identical serialized state along the way.
     fn differential(gating: bool, shards: usize, pool: &ThreadPool) {
+        differential_opts(gating, shards, None, super::SHARD_DISPATCH_MIN, pool);
+    }
+
+    /// [`differential`] with explicit partition shape and dispatch
+    /// floor, exercising [`Network::step_sharded_opts`] directly.
+    fn differential_opts(
+        gating: bool,
+        shards: usize,
+        shape: Option<PartitionShape>,
+        min_runset: usize,
+        pool: &ThreadPool,
+    ) {
         let mut a = net(gating, false);
         let mut b = net(gating, false);
         let mut rng = SimRng::new(42);
@@ -514,7 +672,10 @@ mod tests {
                 }
             }
             a.step();
-            b.step_sharded(pool, shards);
+            match shape {
+                Some(sh) => b.step_sharded_opts(pool, shards, sh, min_runset),
+                None => b.step_sharded(pool, shards),
+            }
             assert_eq!(a.cycle(), b.cycle());
             assert_eq!(a.stats().flits_ejected, b.stats().flits_ejected, "cycle {cycle}");
             a.drain_ejected();
@@ -523,12 +684,16 @@ mod tests {
                 assert_eq!(
                     state_bytes(&mut a),
                     state_bytes(&mut b),
-                    "state diverged by cycle {cycle} (gating={gating}, shards={shards})"
+                    "state diverged by cycle {cycle} (gating={gating}, shards={shards}, shape={shape:?})"
                 );
             }
         }
         assert_eq!(state_bytes(&mut a), state_bytes(&mut b));
-        assert!(b.sharded_steps() > 0, "sharded path never engaged (shards={shards})");
+        if min_runset < usize::MAX {
+            assert!(b.sharded_steps() > 0, "sharded path never engaged (shards={shards})");
+        } else {
+            assert_eq!(b.sharded_steps(), 0, "min_runset=MAX must pin the serial phase 2");
+        }
     }
 
     #[test]
@@ -545,6 +710,40 @@ mod tests {
         for shards in [2, 3, 4, 8] {
             differential(true, shards, &pool);
         }
+    }
+
+    #[test]
+    fn column_bands_are_bit_identical() {
+        let pool = ThreadPool::new(4);
+        let min = super::SHARD_DISPATCH_MIN;
+        differential_opts(false, 3, Some(PartitionShape::ColBands), min, &pool);
+        differential_opts(true, 4, Some(PartitionShape::ColBands), min, &pool);
+        differential_opts(true, 8, Some(PartitionShape::ColBands), min, &pool);
+    }
+
+    #[test]
+    fn tiles2d_are_bit_identical() {
+        let pool = ThreadPool::new(4);
+        let min = super::SHARD_DISPATCH_MIN;
+        differential_opts(false, 3, Some(PartitionShape::Tiles2d), min, &pool);
+        differential_opts(true, 4, Some(PartitionShape::Tiles2d), min, &pool);
+        differential_opts(true, 8, Some(PartitionShape::Tiles2d), min, &pool);
+    }
+
+    #[test]
+    fn tiny_dispatch_floor_is_bit_identical() {
+        // min_runset=2 forces the parallel sweep on nearly every cycle,
+        // hammering sparse run sets and the ping replay across shapes.
+        let pool = ThreadPool::new(4);
+        for shape in PartitionShape::ALL {
+            differential_opts(true, 4, Some(shape), 2, &pool);
+        }
+    }
+
+    #[test]
+    fn max_dispatch_floor_pins_serial_phase2() {
+        let pool = ThreadPool::new(4);
+        differential_opts(true, 4, Some(PartitionShape::RowBands), usize::MAX, &pool);
     }
 
     #[test]

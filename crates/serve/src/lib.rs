@@ -73,8 +73,11 @@ pub const PROTOCOL_VERSION: u32 = 2;
 /// `warmup`, `measure`, `seed` (default 7), and `threads` (worker
 /// lanes for stepping the job's subnets and mesh shards; default 1 =
 /// serial, so concurrent jobs never oversubscribe the host unless
-/// asked to). Thread count is a pure scheduling knob — results and
-/// cache keys are bit-identical at any value.
+/// asked to). `threads` also accepts the string `"auto"`: lane count
+/// and dispatch crossovers are then left to the worker's adaptive
+/// controller (auto sizing capped by the host, crossovers self-tuned
+/// online). Thread count is a pure scheduling knob — results and cache
+/// keys are bit-identical at any value, `"auto"` included.
 ///
 /// # Errors
 ///
@@ -93,11 +96,21 @@ pub fn parse_job(j: &Json) -> Result<SimJob, String> {
         None => true,
         Some(v) => v.as_bool().ok_or("'gating' must be a bool")?,
     };
+    // `None` = controller-managed (auto lane sizing + adaptive
+    // crossovers); `Some(t)` = pinned lanes and shards.
     let threads = match j.get("threads") {
-        None => 1,
-        Some(v) => v.as_u64().filter(|&t| t >= 1).ok_or("'threads' must be an integer >= 1")? as usize,
+        None => Some(1),
+        Some(Json::Str(s)) if s == "auto" => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|&t| t >= 1)
+                .ok_or("'threads' must be an integer >= 1 or \"auto\"")? as usize,
+        ),
     };
-    let cfg = cfg.gating(gating).step_threads(threads).shard_threads(threads);
+    let cfg = match threads {
+        Some(t) => cfg.gating(gating).step_threads(t).shard_threads(t),
+        None => cfg.gating(gating),
+    };
     let nodes = cfg.dims.num_nodes() as u16;
 
     let pattern = match j.get("pattern").and_then(Json::as_str).unwrap_or("uniform-random") {

@@ -37,5 +37,5 @@ pub mod rng;
 pub use check::Checker;
 pub use codec::{ByteReader, ByteWriter, CodecError, Fnv64};
 pub use json::{FromJson, Json, JsonError, ToJson};
-pub use pool::ThreadPool;
+pub use pool::{PoolStats, ThreadPool};
 pub use rng::SimRng;

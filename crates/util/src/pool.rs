@@ -30,6 +30,7 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -133,6 +134,58 @@ struct Queue {
     shutdown: bool,
 }
 
+/// Cumulative scheduler telemetry, drained as a [`PoolStats`] snapshot
+/// via [`ThreadPool::stats`]. Every executed job is acquired from
+/// exactly one of a worker's own deque, the shared injector, or a steal,
+/// so `jobs_run == lane_pops + injector_pops + steals` holds at rest.
+/// The serial fast path in [`ThreadPool::run`] (single job, or a pool
+/// with no workers) bypasses the queues and leaves every counter
+/// untouched. All increments are relaxed: the counters feed scheduling
+/// heuristics and diagnostics, never correctness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed through the queues (serial fast path excluded).
+    pub jobs_run: u64,
+    /// Successful steals from another lane's deque.
+    pub steals: u64,
+    /// Steal scans that found every other lane empty.
+    pub failed_steals: u64,
+    /// Jobs popped from the shared FIFO injector.
+    pub injector_pops: u64,
+    /// Jobs a worker popped from its own deque (nested batches).
+    pub lane_pops: u64,
+    /// Times a lane parked on the condvar for lack of visible work.
+    pub park_waits: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    jobs_run: AtomicU64,
+    steals: AtomicU64,
+    failed_steals: AtomicU64,
+    injector_pops: AtomicU64,
+    lane_pops: AtomicU64,
+    park_waits: AtomicU64,
+}
+
+impl Counters {
+    #[inline]
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            jobs_run: self.jobs_run.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            lane_pops: self.lane_pops.load(Ordering::Relaxed),
+            park_waits: self.park_waits.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct Shared {
     /// FIFO overflow/entry queue for external submitters; its mutex also
     /// guards the sleep protocol (push-then-notify under the lock pairs
@@ -141,11 +194,26 @@ struct Shared {
     work_cv: Condvar,
     /// One stealer per worker lane, in lane order.
     stealers: Vec<deque::Stealer<Job>>,
+    /// Scheduler counters (see [`PoolStats`]).
+    stats: Counters,
 }
 
 impl Shared {
     fn pop_injector(&self) -> Option<Job> {
-        self.injector.lock().unwrap().jobs.pop_front()
+        let job = self.injector.lock().unwrap().jobs.pop_front();
+        if job.is_some() {
+            Counters::bump(&self.stats.injector_pops);
+        }
+        job
+    }
+
+    /// Pops the caller's own deque, counting the hit.
+    fn pop_own(&self, own: &deque::Worker<Job>) -> Option<Job> {
+        let job = own.pop();
+        if job.is_some() {
+            Counters::bump(&self.stats.lane_pops);
+        }
+        job
     }
 
     /// Steals one job from any lane other than `skip` (pass a
@@ -163,13 +231,23 @@ impl Shared {
             }
             loop {
                 match self.stealers[i].steal() {
-                    Steal::Success(job) => return Some(job),
+                    Steal::Success(job) => {
+                        Counters::bump(&self.stats.steals);
+                        return Some(job);
+                    }
                     Steal::Retry => std::hint::spin_loop(),
                     Steal::Empty => break,
                 }
             }
         }
+        Counters::bump(&self.stats.failed_steals);
         None
+    }
+
+    /// [`Job::execute`] with the run counted.
+    fn execute(&self, job: Job) {
+        Counters::bump(&self.stats.jobs_run);
+        job.execute();
     }
 }
 
@@ -220,6 +298,7 @@ impl ThreadPool {
             }),
             work_cv: Condvar::new(),
             stealers,
+            stats: Counters::default(),
         });
         let workers = owners
             .into_iter()
@@ -238,6 +317,15 @@ impl ThreadPool {
     /// Total parallel lanes (workers plus the submitting thread).
     pub fn parallelism(&self) -> usize {
         self.workers.len() + 1
+    }
+
+    /// Snapshot of the cumulative scheduler counters (see
+    /// [`PoolStats`]). Cheap (six relaxed loads) and monotone between
+    /// snapshots; safe to call concurrently with running batches, in
+    /// which case the individual counters may be mutually skewed by
+    /// in-flight jobs.
+    pub fn stats(&self) -> PoolStats {
+        self.shared.stats.snapshot()
     }
 
     /// The calling thread's lane record, if it is a worker of *this*
@@ -325,14 +413,15 @@ impl ThreadPool {
                 Some(tls) => {
                     // SAFETY: as above — own `worker_loop` frame.
                     let own = unsafe { &*tls.deque };
-                    own.pop()
+                    self.shared
+                        .pop_own(own)
                         .or_else(|| self.shared.pop_injector())
                         .or_else(|| self.shared.try_steal(tls.lane))
                 }
                 None => self.shared.pop_injector().or_else(|| self.shared.try_steal(usize::MAX)),
             };
             match job {
-                Some(job) => job.execute(),
+                Some(job) => self.shared.execute(job),
                 None => break,
             }
         }
@@ -373,8 +462,12 @@ fn worker_loop(shared: &Arc<Shared>, lane: usize, own: deque::Worker<Job>) {
     loop {
         // Fast path: own deque (nested batches), then injector, then
         // steal a straggler from a busy peer.
-        if let Some(job) = own.pop().or_else(|| shared.pop_injector()).or_else(|| shared.try_steal(lane)) {
-            job.execute();
+        if let Some(job) = shared
+            .pop_own(&own)
+            .or_else(|| shared.pop_injector())
+            .or_else(|| shared.try_steal(lane))
+        {
+            shared.execute(job);
             continue;
         }
         // Nothing visible: re-scan under the injector lock before
@@ -386,6 +479,7 @@ fn worker_loop(shared: &Arc<Shared>, lane: usize, own: deque::Worker<Job>) {
             let mut q = shared.injector.lock().unwrap();
             loop {
                 if let Some(job) = q.jobs.pop_front() {
+                    Counters::bump(&shared.stats.injector_pops);
                     break job;
                 }
                 if q.shutdown {
@@ -395,10 +489,11 @@ fn worker_loop(shared: &Arc<Shared>, lane: usize, own: deque::Worker<Job>) {
                 if let Some(job) = shared.try_steal(lane) {
                     break job;
                 }
+                Counters::bump(&shared.stats.park_waits);
                 q = shared.work_cv.wait(q).unwrap();
             }
         };
-        job.execute();
+        shared.execute(job);
     }
 }
 
@@ -603,5 +698,74 @@ mod tests {
         assert_eq!(effective_parallelism(1), 1);
         assert!(effective_parallelism(4) >= 1);
         assert!(effective_parallelism(4) <= 4);
+    }
+
+    #[test]
+    fn stats_stay_zero_under_the_serial_fallback() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.stats(), PoolStats::default());
+        let got = pool.run((0..16usize).map(|i| move || i * 2).collect::<Vec<_>>());
+        assert_eq!(got, (0..16).map(|i| i * 2).collect::<Vec<usize>>());
+        assert_eq!(
+            pool.stats(),
+            PoolStats::default(),
+            "serial fallback bypasses the queues"
+        );
+        // A single job on a parallel pool also runs inline.
+        let pool = ThreadPool::new(4);
+        pool.run(vec![|| 7usize]);
+        assert_eq!(pool.stats().jobs_run, 0, "single-job fast path bypasses the queues");
+    }
+
+    #[test]
+    fn stats_count_queued_jobs_and_stay_consistent() {
+        let pool = ThreadPool::new(4);
+        // Idle workers may already have parked or scanned before the
+        // first batch; only the job-flow counters start at zero.
+        let base = pool.stats();
+        assert_eq!(base.jobs_run, 0);
+        pool.run((0..64usize).map(|i| move || std::hint::black_box(i)).collect::<Vec<_>>());
+        let after = pool.stats();
+        assert_eq!(after.jobs_run, 64, "every queued job is counted exactly once");
+        assert_eq!(
+            after.jobs_run,
+            after.lane_pops + after.injector_pops + after.steals,
+            "each job is acquired from exactly one source"
+        );
+        // Nested batches route through the worker deques; the balance
+        // equation must keep holding.
+        let pool2 = Arc::new(ThreadPool::new(4));
+        let p = Arc::clone(&pool2);
+        pool2.run(
+            (0..4usize)
+                .map(|i| {
+                    let p = Arc::clone(&p);
+                    move || p.run((0..8usize).map(|j| move || i + j).collect::<Vec<_>>()).len()
+                })
+                .collect::<Vec<_>>(),
+        );
+        let st = pool2.stats();
+        assert_eq!(st.jobs_run, 4 + 4 * 8);
+        assert_eq!(st.jobs_run, st.lane_pops + st.injector_pops + st.steals);
+    }
+
+    #[test]
+    fn stats_are_monotone_across_batches() {
+        let pool = ThreadPool::new(3);
+        let mut prev = pool.stats();
+        for round in 0..4 {
+            pool.run((0..24usize).map(|i| move || i + round).collect::<Vec<_>>());
+            let now = pool.stats();
+            assert!(
+                now.jobs_run >= prev.jobs_run + 24,
+                "jobs_run is monotone by the batch size"
+            );
+            assert!(now.steals >= prev.steals);
+            assert!(now.failed_steals >= prev.failed_steals);
+            assert!(now.injector_pops >= prev.injector_pops);
+            assert!(now.lane_pops >= prev.lane_pops);
+            assert!(now.park_waits >= prev.park_waits);
+            prev = now;
+        }
     }
 }

@@ -54,7 +54,14 @@ fn golden_run(
     gating: bool,
     threads: usize,
 ) -> ((u64, u64, u64), catnap_repro::catnap::Snapshot, BTreeMap<u64, u64>) {
-    let mut net = MultiNoc::new(golden_cfg(selector, gating, threads));
+    golden_run_cfg(golden_cfg(selector, gating, threads))
+}
+
+/// [`golden_run`] on an explicit configuration (scheduling-knob
+/// variants: partition shape, controller mode).
+#[allow(clippy::type_complexity)]
+fn golden_run_cfg(cfg: MultiNocConfig) -> ((u64, u64, u64), catnap_repro::catnap::Snapshot, BTreeMap<u64, u64>) {
+    let mut net = MultiNoc::new(cfg);
     net.set_track_deliveries(true);
     let mut load = golden_load(net.dims());
     let mut histogram = BTreeMap::new();
@@ -89,6 +96,34 @@ fn goldens_bit_identical_at_every_thread_count() {
             assert_eq!(snap, snap1, "snapshot diverged for {scope}");
             assert_eq!(hist, hist1, "latency histogram diverged for {scope}");
         }
+    }
+}
+
+/// Every partition shape — row bands, column bands, 2-D tiles — replays
+/// the pinned goldens bit-identically, with the adaptive dispatch
+/// controller active (the default) and with it pinned static:
+/// fingerprints, snapshots, latency histograms.
+#[test]
+fn goldens_bit_identical_across_partition_shapes_and_controller_modes() {
+    use catnap_repro::noc::PartitionShape;
+    for &(selector, gating, want) in &[PINNED[0], PINNED[4]] {
+        let (fp1, snap1, hist1) = golden_run(selector, gating, 1);
+        assert_eq!(fp1, want, "serial golden changed for {selector:?} gating={gating}");
+        for shape in PartitionShape::ALL {
+            for threads in [2usize, 8] {
+                let scope = format!("{selector:?} gating={gating} threads={threads} {}", shape.name());
+                let (fp, snap, hist) = golden_run_cfg(golden_cfg(selector, gating, threads).partition_shape(shape));
+                assert_eq!(fp, want, "fingerprint diverged for {scope}");
+                assert_eq!(snap, snap1, "snapshot diverged for {scope}");
+                assert_eq!(hist, hist1, "latency histogram diverged for {scope}");
+            }
+        }
+        // Controller pinned static (the CATNAP_FORCE_STATIC_DISPATCH
+        // behaviour, via the config knob): same bytes again.
+        let (fp, snap, hist) = golden_run_cfg(golden_cfg(selector, gating, 4).adaptive_dispatch(false));
+        assert_eq!(fp, want, "static-mode fingerprint diverged");
+        assert_eq!(snap, snap1, "static-mode snapshot diverged");
+        assert_eq!(hist, hist1, "static-mode latency histogram diverged");
     }
 }
 
@@ -150,6 +185,37 @@ fn telemetry_traces_identical_across_thread_counts() {
         let d = diff_traces(&trace1, &trace);
         assert!(d.is_identical(), "telemetry diverged at {threads} threads:\n{d}");
     }
+}
+
+/// Recorded telemetry traces are also byte-identical across partition
+/// shapes and controller modes: the segment-ordered merge restores the
+/// canonical event stream whatever the spatial split, and the
+/// controller only ever picks *which* bit-identical path runs.
+#[test]
+fn telemetry_traces_identical_across_shapes_and_controller_modes() {
+    use catnap_repro::noc::PartitionShape;
+    let run = |mutate: &dyn Fn(MultiNocConfig) -> MultiNocConfig| {
+        let cfg = mutate(MultiNocConfig::catnap_4x128().gating(true).seed(31));
+        let mut net = MultiNoc::with_sinks(cfg, |_| RecordingSink::new());
+        let mut load = SyntheticWorkload::new(SyntheticPattern::UniformRandom, 0.05, 512, net.dims(), 31);
+        for _ in 0..1_200 {
+            load.drive(&mut net);
+            net.step();
+        }
+        let trace = net.take_trace();
+        (net.snapshot(), trace)
+    };
+    let (snap1, trace1) = run(&|c| c.step_threads(1).shard_threads(1));
+    for shape in PartitionShape::ALL {
+        let (snap, trace) = run(&|c| c.step_threads(4).shard_threads(4).partition_shape(shape));
+        assert_eq!(snap, snap1, "snapshot diverged for {}", shape.name());
+        let d = diff_traces(&trace1, &trace);
+        assert!(d.is_identical(), "telemetry diverged for {}:\n{d}", shape.name());
+    }
+    let (snap, trace) = run(&|c| c.step_threads(4).shard_threads(4).adaptive_dispatch(false));
+    assert_eq!(snap, snap1, "snapshot diverged in static mode");
+    let d = diff_traces(&trace1, &trace);
+    assert!(d.is_identical(), "telemetry diverged in static mode:\n{d}");
 }
 
 /// A checkpoint saved mid-run at one thread count resumes bit-identically
@@ -218,6 +284,75 @@ fn checkpoints_portable_across_thread_counts() {
             resumed.snapshot(),
             reference_snap,
             "resume at {threads} threads diverged from the serial straight-through"
+        );
+    }
+}
+
+/// Controller state is runtime scratch: a checkpoint written mid-run by
+/// an *adaptive* multi-lane instance (mid-learning, any partition
+/// shape) is byte-identical to the serial writer's, and resumes under a
+/// different controller mode and shape land exactly on the serial
+/// straight-through run.
+#[test]
+fn checkpoints_portable_across_controller_states() {
+    use catnap_repro::noc::PartitionShape;
+    const SPLIT: u64 = 700;
+    let (selector, gating, _) = PINNED[0]; // RoundRobin, gated
+
+    // Straight-through serial reference.
+    let mut reference = MultiNoc::new(golden_cfg(selector, gating, 1));
+    let mut load = golden_load(reference.dims());
+    for _ in 0..SPLIT {
+        load.drive(&mut reference);
+        reference.step();
+    }
+    let serial_blob = reference.save_checkpoint(&load.encode_position());
+    for _ in SPLIT..CYCLES {
+        load.drive(&mut reference);
+        reference.step();
+    }
+    let reference_snap = reference.snapshot();
+
+    // Adaptive writer, mid-learning, on 2-D tiles: same bytes.
+    let mut writer = MultiNoc::new(golden_cfg(selector, gating, 4).partition_shape(PartitionShape::Tiles2d));
+    let mut wl = golden_load(writer.dims());
+    for _ in 0..SPLIT {
+        wl.drive(&mut writer);
+        writer.step();
+    }
+    assert_eq!(
+        writer.save_checkpoint(&wl.encode_position()),
+        serial_blob,
+        "adaptive writer's checkpoint bytes differ (controller state must stay out of blobs)"
+    );
+
+    // Resume under different controller states; each must land on the
+    // serial reference exactly.
+    let resume_cfgs = [
+        golden_cfg(selector, gating, 8)
+            .adaptive_dispatch(false)
+            .partition_shape(PartitionShape::ColBands),
+        golden_cfg(selector, gating, 2).partition_shape(PartitionShape::Tiles2d),
+    ];
+    for (i, cfg) in resume_cfgs.into_iter().enumerate() {
+        let (mut resumed, driver) = MultiNoc::resume_from(cfg, &serial_blob).expect("checkpoint resumes");
+        assert_eq!(resumed.cycle(), SPLIT);
+        let mut rload = SyntheticWorkload::decode_position(
+            SyntheticPattern::UniformRandom,
+            LoadSchedule::constant(0.08),
+            512,
+            resumed.dims(),
+            &driver,
+        )
+        .expect("workload position decodes");
+        for _ in SPLIT..CYCLES {
+            rload.drive(&mut resumed);
+            resumed.step();
+        }
+        assert_eq!(
+            resumed.snapshot(),
+            reference_snap,
+            "resume variant {i} diverged from the serial straight-through"
         );
     }
 }
